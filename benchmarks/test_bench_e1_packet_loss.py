@@ -1,0 +1,17 @@
+"""E1 — initial-packet fate vs control plane and miss policy (claim C1)."""
+
+from conftest import run_and_check
+
+from repro.experiments import e1_packet_loss as e1
+
+
+def test_bench_e1_packet_loss(benchmark):
+    rows = run_and_check(
+        benchmark,
+        lambda: e1.run_e1(num_sites=8, num_flows=40, cache_ttls=(2.0, 60.0)),
+        e1.check_shape,
+        e1.HEADERS,
+        "E1: first-data-packet fate during mapping resolution",
+    )
+    pce_rows = [row for row in rows if row.system == "pce"]
+    assert all(row.sent_immediately == row.flows for row in pce_rows)

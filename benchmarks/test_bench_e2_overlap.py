@@ -1,0 +1,15 @@
+"""E2 — (T_DNS + T_map) ≈ T_DNS for the PCE control plane (claim C2)."""
+
+from conftest import run_and_check
+
+from repro.experiments import e2_overlap as e2
+
+
+def test_bench_e2_overlap(benchmark):
+    run_and_check(
+        benchmark,
+        lambda: e2.run_e2(num_sites=6, num_flows=20, depths=(0, 2)),
+        e2.check_shape,
+        e2.HEADERS,
+        "E2: mapping-resolution overlap with DNS resolution",
+    )

@@ -1,0 +1,18 @@
+"""E3 — TCP connection-setup latency, the paper's §1 formulas."""
+
+from conftest import run_and_check
+
+from repro.experiments import e3_setup_latency as e3
+
+
+def test_bench_e3_setup_latency(benchmark):
+    rows = run_and_check(
+        benchmark,
+        lambda: e3.run_e3(num_sites=6, num_flows=25),
+        e3.check_shape,
+        e3.HEADERS,
+        "E3: connection setup latency (plain vs LISP variants vs PCE)",
+    )
+    by_system = {row.system: row for row in rows}
+    # The headline: PCE-based CP restores plain-IP setup latency.
+    assert abs(by_system["pce"].total_mean - by_system["plain"].total_mean) < 0.02

@@ -1,0 +1,62 @@
+"""E4 — independent ingress/egress TE via the PCE's per-flow mappings (claim C3)."""
+
+from conftest import run_and_check
+
+from repro.experiments import e4_te_flexibility as e4
+
+
+def test_bench_e4_te_flexibility(benchmark):
+    run_and_check(
+        benchmark,
+        lambda: e4.run_e4(num_sites=5, num_flows=40),
+        e4.check_shape,
+        e4.HEADERS,
+        "E4: inbound/outbound provider load balance, PCE vs static LISP",
+    )
+
+
+def test_bench_e4_push_ablation(benchmark):
+    """Ablation: push-to-all-ITRs vs push-to-one under TE re-homing."""
+    from repro.experiments.scenario import FLOW_UDP_PORT, ScenarioConfig, build_scenario
+    from repro.net.packet import udp_packet
+
+    def run_ablation():
+        results = {}
+        for mode in ("all", "one"):
+            config = ScenarioConfig(control_plane="pce", num_sites=4, seed=59,
+                                    push_mode=mode)
+            scenario = build_scenario(config)
+            sim = scenario.sim
+            cp = scenario.control_plane
+            site = scenario.topology.sites[0]
+            host = site.hosts[0]
+            stub = scenario.stub_for(host, site)
+
+            # Exactly one flow per destination, so in push-to-one mode the
+            # mapping exists on exactly one ITR.
+            def flows():
+                for dst in (1, 2, 3):
+                    target = scenario.topology.sites[dst]
+                    address, _elapsed = yield stub.lookup(scenario.host_name(target, 0))
+                    host.send(udp_packet(host.address, address, 5000, FLOW_UDP_PORT))
+
+            sim.process(flows())
+            sim.run(until=5.0)
+            # Re-home every destination to the other ITR, then send again.
+            moved = 0
+            for prefix, index in list(cp.egress_assignments[site.index].items()):
+                cp.set_egress_route(site, prefix, (index + 1) % len(site.xtrs))
+                moved += 1
+                host.send(udp_packet(host.address, prefix.address_at(10),
+                                     5000, FLOW_UDP_PORT))
+            sim.run(until=sim.now + 2.0)
+            results[mode] = (moved, cp.miss_policy.stats.dropped)
+        return results
+
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    moved_all, dropped_all = results["all"]
+    moved_one, dropped_one = results["one"]
+    print(f"\npush-to-all: {moved_all} re-homed, {dropped_all} drops; "
+          f"push-to-one: {moved_one} re-homed, {dropped_one} drops")
+    assert dropped_all == 0, "push-to-all must survive re-homing"
+    assert dropped_one > 0, "push-to-one must strand re-homed flows"

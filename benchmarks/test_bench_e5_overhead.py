@@ -1,0 +1,15 @@
+"""E5 — control-plane messages, bytes and state vs deployment scale."""
+
+from conftest import run_and_check
+
+from repro.experiments import e5_overhead as e5
+
+
+def test_bench_e5_overhead(benchmark):
+    run_and_check(
+        benchmark,
+        lambda: e5.run_e5(site_counts=(4, 8, 16)),
+        e5.check_shape,
+        e5.HEADERS,
+        "E5: control-plane overhead and per-router state vs #sites",
+    )

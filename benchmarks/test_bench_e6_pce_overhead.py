@@ -1,0 +1,15 @@
+"""E6 — PCE interception overhead and the line-rate (precomputation) claim."""
+
+from conftest import run_and_check
+
+from repro.experiments import e6_pce_overhead as e6
+
+
+def test_bench_e6_pce_overhead(benchmark):
+    run_and_check(
+        benchmark,
+        lambda: e6.run_e6(num_sites=4, num_flows=25),
+        e6.check_shape,
+        e6.HEADERS,
+        "E6: DNS-path latency with/without PCEs; precomputed vs on-demand",
+    )

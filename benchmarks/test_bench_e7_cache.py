@@ -1,0 +1,15 @@
+"""E7 — map-cache aging: hit ratio and loss vs TTL and popularity skew."""
+
+from conftest import run_and_check
+
+from repro.experiments import e7_cache_aging as e7
+
+
+def test_bench_e7_cache_aging(benchmark):
+    run_and_check(
+        benchmark,
+        lambda: e7.run_e7(num_sites=8, num_flows=40, ttls=(1.0, 10.0, 120.0)),
+        e7.check_shape,
+        e7.HEADERS,
+        "E7: cache aging — reactive LISP vs PCE push",
+    )

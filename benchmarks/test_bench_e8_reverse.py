@@ -1,0 +1,15 @@
+"""E8 — reverse-mapping completion vs the avoided two-way resolution."""
+
+from conftest import run_and_check
+
+from repro.experiments import e8_reverse_mapping as e8
+
+
+def test_bench_e8_reverse_mapping(benchmark):
+    run_and_check(
+        benchmark,
+        lambda: e8.run_e8(num_sites=4, providers_per_site=3, num_flows=15),
+        e8.check_shape,
+        e8.HEADERS,
+        "E8: two-way resolution completion — ETR multicast vs pull",
+    )

@@ -1,0 +1,18 @@
+"""E9 — locator failure recovery: probing + backup locators vs static mapping."""
+
+from conftest import run_and_check
+
+from repro.experiments import e9_failover as e9
+
+
+def test_bench_e9_failover(benchmark):
+    rows = run_and_check(
+        benchmark,
+        lambda: e9.run_e9(),
+        e9.check_shape,
+        e9.HEADERS,
+        "E9: access-link failure — blackhole window and loss",
+    )
+    probing = next(row for row in rows if row.variant == "pce+probing")
+    # Detection should take a small number of probe periods, not seconds.
+    assert probing.blackhole_seconds < 2.0

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+These are conventional multi-round pytest-benchmark measurements (unlike
+the experiment benches, which time one full simulation): the event kernel,
+the FIB's longest-prefix match, DNS wire encode/decode, and map-cache
+lookups.  They guard against performance regressions that would make the
+experiment suite crawl.
+"""
+
+import random
+
+from repro.dns.message import DnsMessage, make_query, make_reply
+from repro.dns.records import ResourceRecord, TYPE_A
+from repro.lisp.map_cache import MapCache
+from repro.lisp.mappings import MappingRecord, RlocEntry
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.fib import Fib
+from repro.sim import Simulator
+
+
+def test_bench_event_kernel_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(10_000):
+            sim.call_in(i * 0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_process_switching(benchmark):
+    def run_processes():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(100):
+                yield sim.timeout(0.01)
+
+        for _ in range(100):
+            sim.process(worker())
+        sim.run()
+        return sim.processed_events
+
+    assert benchmark(run_processes) > 10_000
+
+
+def _build_fib(entries=1000, seed=5):
+    rng = random.Random(seed)
+    fib = Fib()
+    for _ in range(entries):
+        value = rng.getrandbits(32)
+        length = rng.randint(8, 28)
+        fib.add(IPv4Prefix.containing(value, length), "iface")
+    return fib, rng
+
+
+def test_bench_fib_lpm_lookup(benchmark):
+    fib, rng = _build_fib()
+    probes = [IPv4Address(rng.getrandbits(32)) for _ in range(1000)]
+    sentinel = fib.entries()[0]
+
+    def lookups():
+        hits = 0
+        for probe in probes:
+            if fib.lookup(probe, default=sentinel) is not sentinel:
+                hits += 1
+        return hits
+
+    benchmark(lookups)
+
+
+def test_bench_dns_encode_decode(benchmark):
+    query = make_query(1234, "host3.site17.example.")
+    reply = make_reply(query,
+                       answers=[ResourceRecord("host3.site17.example.", TYPE_A,
+                                               60, "100.0.17.13")],
+                       authoritative=True)
+
+    def roundtrip():
+        return DnsMessage.decode(reply.encode()).answer_addresses()[0]
+
+    assert benchmark(roundtrip) == IPv4Address("100.0.17.13")
+
+
+def test_bench_map_cache_lookup(benchmark):
+    sim = Simulator()
+    cache = MapCache(sim)
+    for site in range(200):
+        prefix = IPv4Prefix(f"100.{site >> 8}.{site & 255}.0/24")
+        cache.install(MappingRecord(prefix, (RlocEntry(f"10.0.{site & 255}.1"),),
+                                    ttl=1e9))
+    eids = [IPv4Address(f"100.0.{site}.10") for site in range(200)]
+
+    def lookups():
+        found = 0
+        for eid in eids:
+            if cache.lookup(eid) is not None:
+                found += 1
+        return found
+
+    assert benchmark(lookups) == 200

@@ -1,0 +1,150 @@
+"""Command-line interface: run any experiment and print its table.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig1
+    python -m repro run e1 --num-sites 8 --flows 40
+    python -m repro run e3 --seed 5
+    python -m repro run all            # every experiment, small sizes
+
+Each experiment prints the regenerated table plus its shape-check verdict
+(the same checks the benchmark harness enforces).
+"""
+
+import argparse
+import sys
+
+from repro.metrics import format_table
+
+
+def _run_fig1(args):
+    from repro.experiments.fig1 import run_fig1_walkthrough
+
+    outcome = run_fig1_walkthrough(seed=args.seed)
+    rows = [(label, "-" if when is None else f"{when * 1000:.3f} ms", description)
+            for label, when, description in outcome["steps"]]
+    print(format_table(("step", "time", "what happens"), rows,
+                       title="Fig. 1 walkthrough"))
+    print()
+    for name, ok in outcome["checks"].items():
+        print(f"  [{'ok' if ok else 'FAILED'}] {name}")
+    return all(outcome["checks"].values())
+
+
+def _table_runner(module_name, run_kwargs_builder):
+    def runner(args):
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        rows = module.__dict__[_RUN_NAMES[module_name]](**run_kwargs_builder(args))
+        print(format_table(module.HEADERS, [row.as_tuple() for row in rows]))
+        failures = module.check_shape(rows)
+        print()
+        if failures:
+            print("shape-check FAILURES:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return False
+        print("shape check: ok")
+        return True
+
+    return runner
+
+
+_RUN_NAMES = {
+    "e1_packet_loss": "run_e1",
+    "e2_overlap": "run_e2",
+    "e3_setup_latency": "run_e3",
+    "e4_te_flexibility": "run_e4",
+    "e5_overhead": "run_e5",
+    "e6_pce_overhead": "run_e6",
+    "e7_cache_aging": "run_e7",
+    "e8_reverse_mapping": "run_e8",
+    "e9_failover": "run_e9",
+}
+
+EXPERIMENTS = {
+    "fig1": ("Fig. 1 step walkthrough", _run_fig1),
+    "e1": ("first-packet fate during resolution",
+           _table_runner("e1_packet_loss",
+                         lambda a: dict(num_sites=a.num_sites, num_flows=a.flows,
+                                        seed=a.seed))),
+    "e2": ("mapping/DNS resolution overlap",
+           _table_runner("e2_overlap",
+                         lambda a: dict(num_sites=min(a.num_sites, 6),
+                                        num_flows=a.flows, seed=a.seed))),
+    "e3": ("TCP connection-setup latency",
+           _table_runner("e3_setup_latency",
+                         lambda a: dict(num_sites=min(a.num_sites, 6),
+                                        num_flows=a.flows, seed=a.seed))),
+    "e4": ("inbound/outbound TE flexibility",
+           _table_runner("e4_te_flexibility",
+                         lambda a: dict(num_sites=min(a.num_sites, 6),
+                                        num_flows=a.flows, seed=a.seed))),
+    "e5": ("control-plane overhead vs scale",
+           _table_runner("e5_overhead", lambda a: dict(seed=a.seed))),
+    "e6": ("PCE interception overhead",
+           _table_runner("e6_pce_overhead",
+                         lambda a: dict(num_flows=a.flows, seed=a.seed))),
+    "e7": ("map-cache aging",
+           _table_runner("e7_cache_aging",
+                         lambda a: dict(num_sites=a.num_sites, num_flows=a.flows,
+                                        seed=a.seed))),
+    "e8": ("reverse-mapping completion",
+           _table_runner("e8_reverse_mapping", lambda a: dict(seed=a.seed))),
+    "e9": ("locator failure / probing failover",
+           _table_runner("e9_failover", lambda a: dict(seed=a.seed))),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Advantages of a PCE-based Control Plane "
+                    "for LISP' (CoNEXT 2008)")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run an experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--num-sites", type=int, default=8)
+    run.add_argument("--flows", type=int, default=30)
+    report = sub.add_parser("report", help="regenerate the full report")
+    report.add_argument("-o", "--output", default=None,
+                        help="write markdown to this file (default: stdout)")
+    report.add_argument("--seed", type=int, default=11)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        print(format_table(("experiment", "regenerates"),
+                           [(name, description)
+                            for name, (description, _runner) in sorted(EXPERIMENTS.items())]))
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text, ok = generate_report(seed=args.seed, out=args.output)
+        if args.output is None:
+            print(text)
+        else:
+            print(f"report written to {args.output} "
+                  f"({'all shapes ok' if ok else 'SHAPE FAILURES'})")
+        return 0 if ok else 1
+    if args.experiment == "all":
+        ok = True
+        for name, (description, runner) in sorted(EXPERIMENTS.items()):
+            print(f"\n=== {name}: {description} ===")
+            ok = runner(args) and ok
+        return 0 if ok else 1
+    description, runner = EXPERIMENTS[args.experiment]
+    print(f"=== {args.experiment}: {description} ===")
+    return 0 if runner(args) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Deployment and site-level glue for the PCE-based control plane.
+
+:func:`deploy_pce_control_plane` wires, for every site in a topology:
+
+- a :class:`~repro.core.irc.IrcEngine` (background measurement),
+- a :class:`~repro.core.pce.Pce` on the PCE node,
+- one :class:`~repro.lisp.xtr.TunnelRouter` per border router, with **no
+  reactive mapping system** (mappings arrive only by push) and gleaning
+  off (reverse mappings are distributed explicitly),
+- UDP handlers for the mapping-push and reverse-multicast ports,
+- an ETR decapsulation hook implementing the closing-paragraph sequence:
+  first data packet -> reverse mapping -> multicast to sibling ETRs and
+  the local PCE database.
+
+It also owns the egress routing table (hub per-destination routes) so the
+TE re-homing of :mod:`repro.core.te` can be applied, and implements the
+push-to-all vs push-to-one ablation via ``push_mode``.
+"""
+
+from repro.core.irc import IrcEngine
+from repro.core.messages import (
+    PORT_MAPPING_PUSH,
+    PORT_REVERSE,
+    MappingPush,
+    ReverseMappingAnnounce,
+)
+from repro.core.pce import Pce
+from repro.core.te import LinkLoadMonitor, plan_rebalance
+from repro.lisp import EID_SPACE
+from repro.lisp.control.base import MappingRegistry
+from repro.lisp.mappings import MappingRecord, RlocEntry, site_mapping
+from repro.lisp.policies import DropPolicy
+from repro.lisp.xtr import TunnelRouter
+from repro.net.addresses import IPv4Prefix
+from repro.net.fib import FibEntry
+
+
+class PceControlPlane:
+    """All per-deployment state of the PCE control plane."""
+
+    def __init__(self, sim, topology, dns_system, irc_policy="balance",
+                 precompute=True, computation_delay=0.0005, mapping_ttl=60.0,
+                 push_mode="all", refresh_on_cached_answers=True,
+                 miss_policy=None, start_irc=True, irc_period=0.5,
+                 enable_probing=False, probe_period=0.5, probe_timeout=0.3,
+                 include_backup_rlocs=None):
+        if push_mode not in ("all", "one"):
+            raise ValueError(f"push_mode must be 'all' or 'one', got {push_mode!r}")
+        self.sim = sim
+        self.topology = topology
+        self.dns_system = dns_system
+        self.push_mode = push_mode
+        self.mapping_ttl = mapping_ttl
+        self.registry = MappingRegistry()
+        self.miss_policy = miss_policy if miss_policy is not None else DropPolicy(sim)
+        if include_backup_rlocs is None:
+            include_backup_rlocs = enable_probing  # backups only help if probed
+        self.enable_probing = enable_probing
+        self.pces = {}
+        self.ircs = {}
+        self.probers = {}
+        self.xtrs_by_site = {}
+        self.egress_assignments = {}   # site index -> {prefix: itr index}
+        self.reverse_announcements = 0
+        self.te_moves_applied = 0
+        self._pending_egress_choice = {}
+
+        for site in topology.sites:
+            self.registry.register(site_mapping(site, ttl=mapping_ttl))
+
+        for site in topology.sites:
+            irc = IrcEngine(sim, site, topology, policy=irc_policy, period=irc_period)
+            if start_irc:
+                irc.start()
+            else:
+                irc.measure_once()
+            self.ircs[site.index] = irc
+            resolver = dns_system.resolver_for(site)
+            pce = Pce(sim, site, topology, resolver, self.registry, irc,
+                      control_plane=self, precompute=precompute,
+                      computation_delay=computation_delay,
+                      refresh_on_cached_answers=refresh_on_cached_answers,
+                      include_backup_rlocs=include_backup_rlocs)
+            self.pces[site.index] = pce
+            site.pce_node.bind_udp(PORT_REVERSE, self._make_pce_reverse_handler(pce))
+            routers = []
+            for b, node in enumerate(site.xtrs):
+                xtr = TunnelRouter(sim, node, site, miss_policy=self.miss_policy,
+                                   mapping_system=None, gleaning=False)
+                xtr.decap_listeners.append(self._make_etr_hook(site, xtr))
+                node.bind_udp(PORT_MAPPING_PUSH, self._on_mapping_push)
+                node.bind_udp(PORT_REVERSE, self._on_reverse_announce)
+                if enable_probing:
+                    from repro.lisp.probing import RlocProber
+
+                    prober = RlocProber(sim, xtr, period=probe_period,
+                                        timeout=probe_timeout)
+                    prober.start()
+                    self.probers[node.name] = prober
+                routers.append(xtr)
+            self.xtrs_by_site[site.index] = routers
+            self.egress_assignments[site.index] = {}
+
+    # ------------------------------------------------------------------ #
+    # Push distribution
+    # ------------------------------------------------------------------ #
+
+    def push_targets(self, site):
+        """Which ITR indices receive a mapping push (the ablation knob)."""
+        if self.push_mode == "all":
+            return list(range(len(site.xtrs)))
+        chosen = self.ircs[site.index].select_egress()
+        self._pending_egress_choice[site.index] = chosen
+        return [chosen]
+
+    def set_egress_route(self, site, prefix, egress_index):
+        """Point the hub's route for *prefix* at the chosen egress ITR."""
+        if self.push_mode == "one":
+            egress_index = self._pending_egress_choice.pop(site.index, egress_index)
+        hub_iface = site.hub_links[egress_index]["hub_iface"]
+        site.hub.fib.insert(FibEntry(IPv4Prefix(prefix), hub_iface))
+        self.egress_assignments[site.index][IPv4Prefix(prefix)] = egress_index
+
+    def _on_mapping_push(self, packet, node):
+        message = packet.payload
+        if not isinstance(message, MappingPush):
+            return
+        xtr = node.services.get("xtr-service")
+        if xtr is None:
+            return
+        xtr.install_mapping(message.mapping, origin="pce-push", ttl=self.mapping_ttl)
+
+    # ------------------------------------------------------------------ #
+    # ETR reverse-mapping multicast
+    # ------------------------------------------------------------------ #
+
+    def _make_etr_hook(self, site, xtr):
+        def on_decap(_xtr, inner, outer_ip, first_packet):
+            if not first_packet:
+                return
+            source = inner.ip.src
+            if not EID_SPACE.contains(source):
+                return
+            reverse = MappingRecord(IPv4Prefix(int(source), 32),
+                                    (RlocEntry(outer_ip.src),), ttl=self.mapping_ttl)
+            # (ii) install locally so this xTR can carry the reverse flow...
+            xtr.install_mapping(reverse, origin="reverse-local", ttl=self.mapping_ttl)
+            # (iii) ...then multicast to sibling ETRs and the PCE database.
+            announce = ReverseMappingAnnounce(mapping=reverse, origin_etr=xtr.rloc)
+            self.reverse_announcements += 1
+            for b, sibling in enumerate(site.xtrs):
+                if sibling is xtr.node:
+                    continue
+                xtr.node.send_udp(src=site.xtr_control_address(site.xtrs.index(xtr.node)),
+                                  dst=site.xtr_control_address(b),
+                                  sport=PORT_REVERSE, dport=PORT_REVERSE,
+                                  payload=announce)
+            xtr.node.send_udp(src=site.xtr_control_address(site.xtrs.index(xtr.node)),
+                              dst=site.pce_address, sport=PORT_REVERSE,
+                              dport=PORT_REVERSE, payload=announce)
+            self.sim.trace.record(self.sim.now, xtr.node.name, "etr.reverse-multicast",
+                                  prefix=str(reverse.eid_prefix),
+                                  rloc=str(outer_ip.src))
+
+        return on_decap
+
+    @staticmethod
+    def _make_pce_reverse_handler(pce):
+        def handler(packet, _node):
+            message = packet.payload
+            if isinstance(message, ReverseMappingAnnounce):
+                pce.learn_reverse_mapping(message.mapping)
+
+        return handler
+
+    def _on_reverse_announce(self, packet, node):
+        message = packet.payload
+        if not isinstance(message, ReverseMappingAnnounce):
+            return
+        xtr = node.services.get("xtr-service")
+        if xtr is not None:
+            xtr.install_mapping(message.mapping, origin="reverse-multicast",
+                                ttl=self.mapping_ttl)
+
+    # ------------------------------------------------------------------ #
+    # Mapping visibility helpers
+    # ------------------------------------------------------------------ #
+
+    def itr_has_live_mapping(self, site, eid):
+        """True if every push target currently holds a mapping for *eid*."""
+        routers = self.xtrs_by_site[site.index]
+        if self.push_mode == "one":
+            assignment = self.egress_assignments[site.index]
+            for prefix, index in assignment.items():
+                if prefix.contains(eid):
+                    return routers[index].map_cache.peek(eid) is not None
+            return False
+        return all(router.map_cache.peek(eid) is not None for router in routers)
+
+    def mapping_available_time(self, site, prefix):
+        """Time of the latest Step-7b push covering *prefix* at *site*."""
+        prefix = IPv4Prefix(prefix)
+        pce = self.pces[site.index]
+        for when, _source, pushed_prefix in reversed(pce.stats.push_timeline):
+            if pushed_prefix == prefix:
+                return when
+        return None
+
+    # ------------------------------------------------------------------ #
+    # TE re-homing (uses repro.core.te)
+    # ------------------------------------------------------------------ #
+
+    def uplink_monitor(self, site):
+        return LinkLoadMonitor(self.sim, [links["uplink"] for links in site.access_links])
+
+    def rebalance_site_egress(self, site, loads=None, flow_bytes_estimate=50_000,
+                              tolerance=1.2):
+        """Plan and apply egress re-homing for *site*; returns the moves."""
+        assignment = self.egress_assignments[site.index]
+        if loads is None:
+            monitor = self.uplink_monitor(site)
+            loads = monitor.window_bytes()
+        flows_by_itr = {}
+        for prefix, index in assignment.items():
+            flows_by_itr.setdefault(index, []).append((prefix, flow_bytes_estimate))
+        moves = plan_rebalance(loads, flows_by_itr, tolerance=tolerance)
+        for move in moves:
+            self.set_egress_route(site, move.destination_prefix, move.to_itr)
+            self.te_moves_applied += 1
+            self.sim.trace.record(self.sim.now, site.hub.name, "te.rehome",
+                                  prefix=str(move.destination_prefix),
+                                  frm=move.from_itr, to=move.to_itr)
+        return moves
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+
+    def total_push_messages(self):
+        return sum(pce.stats.push_messages for pce in self.pces.values())
+
+    def total_push_bytes(self):
+        return sum(pce.stats.push_bytes for pce in self.pces.values())
+
+    def total_control_messages(self):
+        pushes = self.total_push_messages()
+        encaps = sum(pce.stats.replies_encapsulated for pce in self.pces.values())
+        reverses = self.reverse_announcements * 2  # siblings + PCE copy lower bound
+        return pushes + encaps + reverses
+
+
+def deploy_pce_control_plane(sim, topology, dns_system, **kwargs):
+    """Convenience constructor mirroring :func:`repro.lisp.deploy.deploy_lisp`."""
+    return PceControlPlane(sim, topology, dns_system, **kwargs)

@@ -1,0 +1,76 @@
+"""Control-plane messages exchanged by PCEs, ITRs and ETRs."""
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address
+
+#: The paper's "special transport port P" listened on by PCE_S (Step 6).
+PORT_PCE = 4343
+#: PCE -> ITR mapping installation (Step 7b).
+PORT_MAPPING_PUSH = 4344
+#: ETR -> sibling-ETRs / PCE reverse-mapping multicast (closing paragraph).
+PORT_REVERSE = 4345
+
+
+@dataclass
+class EncapsulatedDnsReply:
+    """Step 6: the DNS reply wrapped in a new UDP message.
+
+    Carries the original reply verbatim (wire bytes plus the addressing
+    needed to re-emit it unchanged at the source side) and, in the outer
+    payload, the EID-to-RLOC mapping selected by PCE_D's IRC engine.
+    """
+
+    dns_wire: bytes
+    mapping: object
+    pce_address: IPv4Address
+    original_src: IPv4Address
+    original_sport: int
+    original_dst: IPv4Address
+    original_dport: int
+
+    def __post_init__(self):
+        self.pce_address = IPv4Address(self.pce_address)
+        self.original_src = IPv4Address(self.original_src)
+        self.original_dst = IPv4Address(self.original_dst)
+
+    @property
+    def size_bytes(self):
+        # Inner reply + mapping record + 12B of envelope bookkeeping.
+        return len(self.dns_wire) + self.mapping.size_bytes + 12
+
+
+@dataclass
+class MappingPush:
+    """Step 7b: the tuple (E_S, E_D, RLOC_S, RLOC_D) pushed to every ITR.
+
+    ``mapping`` is the destination mapping narrowed to RLOC_D and annotated
+    with RLOC_S as the outer-source locator — i.e. the two one-way tunnels.
+    """
+
+    source_eid: IPv4Address
+    mapping: object
+    pce_address: IPv4Address
+
+    def __post_init__(self):
+        self.source_eid = IPv4Address(self.source_eid)
+        self.pce_address = IPv4Address(self.pce_address)
+
+    @property
+    def size_bytes(self):
+        return 16 + self.mapping.size_bytes
+
+
+@dataclass
+class ReverseMappingAnnounce:
+    """ETR multicast: the (E_S -> RLOC_S) mapping gleaned from packet one."""
+
+    mapping: object
+    origin_etr: IPv4Address
+
+    def __post_init__(self):
+        self.origin_etr = IPv4Address(self.origin_etr)
+
+    @property
+    def size_bytes(self):
+        return 8 + self.mapping.size_bytes

@@ -1,0 +1,313 @@
+"""The per-site Path Computation Element.
+
+One :class:`Pce` instance runs on each site's PCE node (which physically
+sits between the site's DNS server and the rest of the world, see
+:mod:`repro.net.topology`).  The same object plays both of the paper's
+roles — PCE_S when its site sources a flow, PCE_D when its site is the
+destination — because every site runs the same element.
+
+Step mapping (Fig. 1):
+
+=======  =====================================================================
+Step     Where implemented
+=======  =====================================================================
+1        :meth:`Pce.on_local_query` (registered as resolver IPC listener)
+2-5      :meth:`Pce._observe_dns` (transparent forward-tap observation)
+6        :meth:`Pce._intercept_authoritative_reply` (PCE_D role)
+7a       :meth:`Pce._handle_port_p` re-emitting the original DNS reply
+7b       :meth:`Pce.push_mapping_to_itrs`
+8        observed by the tap as the resolver answers the host (trace only)
+ETR rev  :meth:`Pce.learn_reverse_mapping` via the control plane's ETR hook
+=======  =====================================================================
+"""
+
+from repro.core.messages import (
+    PORT_MAPPING_PUSH,
+    PORT_PCE,
+    EncapsulatedDnsReply,
+    MappingPush,
+)
+from repro.dns.message import DnsMessage, DnsWireError
+from repro.lisp import EID_SPACE
+from repro.net.fib import FibEntry
+from repro.net.addresses import IPv4Prefix
+
+DNS_PORT = 53
+
+
+class PceStats:
+    """Per-PCE counters and the timelines experiments consume."""
+
+    def __init__(self):
+        self.queries_observed = 0
+        self.replies_observed = 0
+        self.ipc_notifications = 0
+        self.replies_encapsulated = 0
+        self.port_p_received = 0
+        self.mappings_pushed = 0
+        self.push_messages = 0
+        self.push_bytes = 0
+        self.refresh_pushes = 0
+        self.reverse_mappings_learned = 0
+        #: (time, source_eid, prefix) for every Step-7b push.
+        self.push_timeline = []
+        #: (time, qname, client) for every Step-1 IPC notification.
+        self.ipc_timeline = []
+
+
+class Pce:
+    """A site's PCE: DNS-path interception plus mapping distribution."""
+
+    def __init__(self, sim, site, topology, resolver, registry, irc,
+                 control_plane, precompute=True, computation_delay=0.0005,
+                 refresh_on_cached_answers=True, include_backup_rlocs=False):
+        self.sim = sim
+        self.site = site
+        self.topology = topology
+        self.resolver = resolver
+        self.registry = registry
+        self.irc = irc
+        self.control_plane = control_plane
+        self.precompute = precompute
+        self.computation_delay = computation_delay
+        self.refresh_on_cached_answers = refresh_on_cached_answers
+        #: Carry the site's other locators as demoted backups in Step-6
+        #: mappings, enabling ITR-side failover (pairs with RLOC probing).
+        self.include_backup_rlocs = include_backup_rlocs
+        #: Suppress refresh pushes this soon after a push (push in flight).
+        self.push_guard = 0.05
+        self.node = site.pce_node
+        self.address = site.pce_address
+        self.stats = PceStats()
+        #: Step-1 ingress decisions awaiting the matching port-P message.
+        self.pending_ingress = {}
+        #: Mappings learned from port-P messages (the PCE database).
+        self.mapping_db = {}
+        #: Remote PCE addresses learned from port-P messages.
+        self.peer_pces = {}
+        self.node.add_forward_tap(self._tap)
+        resolver.query_listeners.append(self.on_local_query)
+        self.node.register_service("pce", self)
+
+    def __str__(self):
+        return f"PCE({self.site.name})"
+
+    # ------------------------------------------------------------------ #
+    # Step 1: IPC with the local DNS server
+    # ------------------------------------------------------------------ #
+
+    def on_local_query(self, client, qname, time):
+        """A local host asked the resolver for *qname*: precompute ingress."""
+        self.stats.ipc_notifications += 1
+        self.stats.ipc_timeline.append((time, qname, client))
+        ingress_index = self.irc.select_ingress()
+        self.pending_ingress[qname] = (client, ingress_index, time)
+        self.sim.trace.record(time, self.node.name, "pce.step1-ipc",
+                              qname=qname, client=str(client),
+                              ingress_rloc=str(self.site.rloc_of(ingress_index)))
+
+    # ------------------------------------------------------------------ #
+    # The forward tap: everything crossing the DNS path
+    # ------------------------------------------------------------------ #
+
+    def _tap(self, packet, _node):
+        udp = packet.udp
+        if udp is None:
+            return False
+        if udp.dport == PORT_PCE and isinstance(packet.payload, EncapsulatedDnsReply):
+            self._handle_port_p(packet)
+            return True
+        if udp.dport == DNS_PORT or udp.sport == DNS_PORT:
+            return self._observe_dns(packet)
+        return False
+
+    def _observe_dns(self, packet):
+        try:
+            message = DnsMessage.decode(bytes(packet.payload))
+        except (DnsWireError, TypeError):
+            return False
+        if message.is_query:
+            self.stats.queries_observed += 1
+            self.sim.trace.record(self.sim.now, self.node.name, "pce.observe-query",
+                                  qname=message.qname, dst=str(packet.ip.dst))
+            return False
+        self.stats.replies_observed += 1
+        if self._is_local_authoritative_answer(packet, message):
+            return self._intercept_authoritative_reply(packet, message)
+        if self._is_reply_to_local_host(packet, message):
+            self.sim.trace.record(self.sim.now, self.node.name, "pce.step8-dns-reply",
+                                  qname=message.qname, client=str(packet.ip.dst))
+            self._maybe_refresh_mapping(message)
+            return False
+        self.sim.trace.record(self.sim.now, self.node.name, "pce.observe-reply",
+                              qname=message.qname, src=str(packet.ip.src))
+        return False
+
+    def _is_local_authoritative_answer(self, packet, message):
+        """Step 6 trigger: our DNS answering a remote resolver with a local EID."""
+        if packet.ip.src != self.site.dns_address:
+            return False
+        if self.site.eid_prefix.contains(packet.ip.dst):
+            return False  # answer to a local host, not a remote resolver
+        return any(self.site.eid_prefix.contains(address)
+                   for address in message.answer_addresses())
+
+    def _is_reply_to_local_host(self, packet, message):
+        return (packet.ip.src == self.site.dns_address
+                and self.site.eid_prefix.contains(packet.ip.dst))
+
+    # ------------------------------------------------------------------ #
+    # Step 6: PCE_D encapsulates the authoritative reply
+    # ------------------------------------------------------------------ #
+
+    def _intercept_authoritative_reply(self, packet, message):
+        mapping = self._current_local_mapping()
+        if mapping is None:
+            return False  # cannot select a locator: let the reply through untouched
+        envelope = EncapsulatedDnsReply(
+            dns_wire=bytes(packet.payload),
+            mapping=mapping,
+            pce_address=self.address,
+            original_src=packet.ip.src,
+            original_sport=packet.udp.sport,
+            original_dst=packet.ip.dst,
+            original_dport=packet.udp.dport,
+        )
+        self.stats.replies_encapsulated += 1
+        self.sim.trace.record(self.sim.now, self.node.name, "pce.step6-encap",
+                              qname=message.qname, dst=str(packet.ip.dst),
+                              rloc=str(mapping.rlocs[0].address))
+
+        def emit():
+            self.node.send_udp(src=self.address, dst=envelope.original_dst,
+                               sport=PORT_PCE, dport=PORT_PCE, payload=envelope)
+
+        if self.precompute:
+            emit()  # mapping known aforehand: line rate
+        else:
+            self.sim.call_in(self.computation_delay, emit)
+        return True
+
+    def _current_local_mapping(self):
+        """Our site's mapping narrowed to the IRC-chosen inbound locator."""
+        base = self.registry.lookup_prefix(self.site.eid_prefix)
+        if base is None:
+            return None
+        chosen = self.site.rloc_of(self.irc.select_ingress())
+        if self.include_backup_rlocs:
+            return base.with_preferred_rloc(chosen)
+        return base.with_chosen_rloc(chosen)
+
+    # ------------------------------------------------------------------ #
+    # Step 7: PCE_S handles the port-P message
+    # ------------------------------------------------------------------ #
+
+    def _handle_port_p(self, packet):
+        envelope = packet.payload
+        self.stats.port_p_received += 1
+        # 7a: re-emit the original DNS reply toward our resolver, unchanged.
+        self.sim.trace.record(self.sim.now, self.node.name, "pce.step7a-forward",
+                              dst=str(envelope.original_dst))
+        self.node.send_udp(src=envelope.original_src, dst=envelope.original_dst,
+                           sport=envelope.original_sport, dport=envelope.original_dport,
+                           payload=envelope.dns_wire)
+        # 7b: learn the peer PCE, complete the tuple, push to all ITRs.
+        mapping = envelope.mapping
+        self.peer_pces[mapping.eid_prefix] = envelope.pce_address
+        self.mapping_db[mapping.eid_prefix] = mapping
+        source_eid, ingress_index = self._match_step1_decision(envelope)
+        annotated = mapping.with_source_rloc(self.site.rloc_of(ingress_index))
+        self.push_mapping_to_itrs(annotated, source_eid)
+
+    def _match_step1_decision(self, envelope):
+        """Pair the reply with the Step-1 IPC record (by query name)."""
+        try:
+            message = DnsMessage.decode(envelope.dns_wire)
+            qname = message.qname
+        except (DnsWireError, TypeError):
+            qname = None
+        if qname is not None and qname in self.pending_ingress:
+            client, ingress_index, _time = self.pending_ingress.pop(qname)
+            return client, ingress_index
+        # No pending record (e.g. a refresh): choose an ingress now.
+        return None, self.irc.select_ingress()
+
+    def push_mapping_to_itrs(self, mapping, source_eid, refresh=False):
+        """Step 7b: install the mapping tuple on the site's ITRs.
+
+        Also points the hub's per-destination route at the IRC-chosen
+        egress ITR — the "local TE actions" the push-to-all design enables.
+        """
+        push = MappingPush(source_eid=source_eid or self.site.eid_prefix.network,
+                           mapping=mapping, pce_address=self.address)
+        targets = self.control_plane.push_targets(self.site)
+        egress_index = self.irc.select_egress()
+        for b in targets:
+            self.stats.push_messages += 1
+            self.stats.push_bytes += push.size_bytes
+            self.node.send_udp(src=self.address,
+                               dst=self.site.xtr_control_address(b),
+                               sport=PORT_MAPPING_PUSH, dport=PORT_MAPPING_PUSH,
+                               payload=push)
+        self.stats.mappings_pushed += 1
+        if refresh:
+            self.stats.refresh_pushes += 1
+        self.stats.push_timeline.append((self.sim.now,
+                                         push.source_eid, mapping.eid_prefix))
+        self.control_plane.set_egress_route(self.site, mapping.eid_prefix, egress_index)
+        self.sim.trace.record(self.sim.now, self.node.name, "pce.step7b-push",
+                              prefix=str(mapping.eid_prefix),
+                              src_rloc=str(mapping.source_rloc),
+                              dst_rloc=str(mapping.rlocs[0].address),
+                              targets=len(targets), egress=egress_index,
+                              refresh=refresh)
+
+    def _maybe_refresh_mapping(self, message):
+        """Re-push a known mapping when the resolver answers from cache.
+
+        Without this, a DNS-cache hit would leave the ITRs without a fresh
+        mapping (the port-P message only travels on real resolutions).  The
+        PCE database makes the refresh purely site-local.
+        """
+        if not self.refresh_on_cached_answers:
+            return
+        for address in message.answer_addresses():
+            if not EID_SPACE.contains(address) or self.site.eid_prefix.contains(address):
+                continue
+            prefix = self._db_prefix_for(address)
+            if prefix is None:
+                continue
+            last_push = self.control_plane.mapping_available_time(self.site, prefix)
+            if last_push is not None and self.sim.now - last_push < self.push_guard:
+                continue  # a push is already in flight
+            installed = self.control_plane.itr_has_live_mapping(self.site, address)
+            if installed:
+                continue
+            client, ingress_index = self._match_step1_decision_for_refresh(message)
+            annotated = self.mapping_db[prefix].with_source_rloc(
+                self.site.rloc_of(ingress_index))
+            self.push_mapping_to_itrs(annotated, client, refresh=True)
+
+    def _db_prefix_for(self, address):
+        for prefix in self.mapping_db:
+            if prefix.contains(address):
+                return prefix
+        return None
+
+    def _match_step1_decision_for_refresh(self, message):
+        qname = message.qname
+        if qname is not None and qname in self.pending_ingress:
+            client, ingress_index, _time = self.pending_ingress.pop(qname)
+            return client, ingress_index
+        return None, self.irc.select_ingress()
+
+    # ------------------------------------------------------------------ #
+    # Reverse mappings (two-way resolution completion)
+    # ------------------------------------------------------------------ #
+
+    def learn_reverse_mapping(self, mapping):
+        """ETR multicast reached the PCE database (closing paragraph, (iii))."""
+        self.stats.reverse_mappings_learned += 1
+        self.mapping_db[mapping.eid_prefix] = mapping
+        self.sim.trace.record(self.sim.now, self.node.name, "pce.reverse-learned",
+                              prefix=str(mapping.eid_prefix))

@@ -1,0 +1,113 @@
+"""Traffic-engineering helpers: load monitoring and egress re-homing.
+
+The paper's Step 7b rationale: "The advantage of pushing the mapping to all
+ITRs is that PCE_S can carry out local TE actions, and move part of its
+internal traffic, without caring whether a mapping will be in place in the
+relevant ITRs after the TE optimization."
+
+:func:`plan_rebalance` produces that optimisation: given per-ITR loads and
+the per-destination flows currently homed on each ITR, it greedily moves
+flows from the most- to the least-loaded ITR until the imbalance falls
+under a tolerance.  :meth:`PceControlPlane.apply_rebalance` then rewrites
+hub routes — safe under push-to-all, lossy under push-to-one (the ablation
+benchmark measures exactly that difference).
+"""
+
+from dataclasses import dataclass
+
+
+class LinkLoadMonitor:
+    """Windowed byte counters over a set of links."""
+
+    def __init__(self, sim, links):
+        self.sim = sim
+        self.links = list(links)
+        self._window_start_bytes = [link.stats.tx_bytes for link in self.links]
+        self._window_start_time = sim.now
+
+    def reset_window(self):
+        self._window_start_bytes = [link.stats.tx_bytes for link in self.links]
+        self._window_start_time = self.sim.now
+
+    def window_bytes(self):
+        """Bytes transmitted per link since the window started."""
+        return [link.stats.tx_bytes - start
+                for link, start in zip(self.links, self._window_start_bytes)]
+
+    def window_rates(self):
+        """Bytes/second per link over the current window."""
+        elapsed = self.sim.now - self._window_start_time
+        if elapsed <= 0:
+            return [0.0] * len(self.links)
+        return [count / elapsed for count in self.window_bytes()]
+
+    def imbalance(self):
+        """max/mean of the window byte counts (1.0 = perfectly balanced)."""
+        counts = self.window_bytes()
+        total = sum(counts)
+        if total == 0:
+            return 1.0
+        mean = total / len(counts)
+        return max(counts) / mean
+
+
+@dataclass(frozen=True)
+class FlowMove:
+    """Move the flows toward *destination_prefix* from one ITR to another."""
+
+    destination_prefix: object
+    from_itr: int
+    to_itr: int
+    bytes_estimate: int
+
+
+def plan_rebalance(loads, flows_by_itr, tolerance=1.2):
+    """Greedy egress re-homing plan.
+
+    Parameters
+    ----------
+    loads:
+        Current byte counts per ITR index.
+    flows_by_itr:
+        ``{itr_index: [(destination_prefix, bytes_estimate), ...]}`` —
+        the flows currently homed on each ITR, heaviest first or not.
+    tolerance:
+        Stop when ``max(load)/mean(load)`` drops to this value.
+
+    Returns a list of :class:`FlowMove`.
+    """
+    loads = list(loads)
+    flows = {index: sorted(entries, key=lambda item: -item[1])
+             for index, entries in flows_by_itr.items()}
+    moves = []
+    if len(loads) < 2:
+        return moves
+    for _round in range(256):
+        total = sum(loads)
+        if total == 0:
+            break
+        mean = total / len(loads)
+        heaviest = max(range(len(loads)), key=lambda i: loads[i])
+        lightest = min(range(len(loads)), key=lambda i: loads[i])
+        if loads[heaviest] / mean <= tolerance or heaviest == lightest:
+            break
+        candidates = flows.get(heaviest)
+        if not candidates:
+            break
+        # Move the largest flow that strictly lowers the maximum load —
+        # anything else would oscillate between the two ITRs.
+        chosen = None
+        for position, (prefix, size) in enumerate(candidates):
+            new_max = max(loads[heaviest] - size, loads[lightest] + size)
+            if new_max < loads[heaviest]:
+                chosen = position
+                break
+        if chosen is None:
+            break
+        prefix, size = candidates.pop(chosen)
+        loads[heaviest] -= size
+        loads[lightest] += size
+        flows.setdefault(lightest, []).append((prefix, size))
+        moves.append(FlowMove(destination_prefix=prefix, from_itr=heaviest,
+                              to_itr=lightest, bytes_estimate=size))
+    return moves

@@ -1,0 +1,65 @@
+"""A TTL-expiring cache used by the resolver (and reusable elsewhere)."""
+
+
+class TtlCache:
+    """Maps keys to values with per-entry absolute expiry times.
+
+    Expiry is evaluated lazily against the simulator clock on access; a
+    small periodic sweep is unnecessary for the experiment sizes used here.
+    """
+
+    def __init__(self, sim, name="cache"):
+        self.sim = sim
+        self.name = name
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.insertions = 0
+
+    def put(self, key, value, ttl):
+        """Store *value* for *ttl* seconds of simulated time."""
+        if ttl <= 0:
+            return
+        self._entries[key] = (self.sim.now + ttl, value)
+        self.insertions += 1
+
+    def get(self, key):
+        """Return the live value for *key*, or None (counting hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires, value = entry
+        if expires <= self.sim.now:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def peek(self, key):
+        """Like :meth:`get` but without touching the counters."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        expires, value = entry
+        if expires <= self.sim.now:
+            return None
+        return value
+
+    def invalidate(self, key):
+        self._entries.pop(key, None)
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        now = self.sim.now
+        return sum(1 for expires, _ in self._entries.values() if expires > now)
+
+    @property
+    def hit_ratio(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

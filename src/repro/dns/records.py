@@ -1,0 +1,66 @@
+"""Resource records and DNS constants."""
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address
+
+TYPE_A = 1
+TYPE_NS = 2
+TYPE_CNAME = 5
+TYPE_SOA = 6
+
+RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+
+_TYPE_NAMES = {TYPE_A: "A", TYPE_NS: "NS", TYPE_CNAME: "CNAME", TYPE_SOA: "SOA"}
+
+
+def type_name(rtype):
+    return _TYPE_NAMES.get(rtype, str(rtype))
+
+
+def normalise_name(name):
+    """Lower-case and ensure a trailing dot (fully-qualified form)."""
+    name = name.lower()
+    if not name.endswith("."):
+        name += "."
+    return name
+
+
+def name_labels(name):
+    """Split a normalised name into labels, dropping the root label."""
+    return [label for label in normalise_name(name).split(".") if label]
+
+
+def is_subdomain(name, zone_origin):
+    """True if *name* is at or below *zone_origin*."""
+    name = normalise_name(name)
+    origin = normalise_name(zone_origin)
+    if origin == ".":
+        return True
+    return name == origin or name.endswith("." + origin)
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS resource record.
+
+    ``data`` is an :class:`~repro.net.addresses.IPv4Address` for A records
+    and a domain-name string for NS/CNAME records.
+    """
+
+    name: str
+    rtype: int
+    ttl: float
+    data: object
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", normalise_name(self.name))
+        if self.rtype == TYPE_A:
+            object.__setattr__(self, "data", IPv4Address(self.data))
+        elif self.rtype in (TYPE_NS, TYPE_CNAME):
+            object.__setattr__(self, "data", normalise_name(str(self.data)))
+
+    def __str__(self):
+        return f"{self.name} {int(self.ttl)} {type_name(self.rtype)} {self.data}"

@@ -1,0 +1,263 @@
+"""Recursive (site) resolver and the end-host stub resolver.
+
+The site resolver is the paper's ``DNS_S``: hosts send it recursive queries
+(Step 1), it walks the hierarchy iteratively (Steps 2-5), and its replies to
+hosts close the loop (Step 8).  It can simultaneously act as the
+authoritative server for the site's own zone — that is the paper's
+``DNS_D`` role (Step 6).
+
+The resolver exposes ``query_listeners``: callbacks fired when a recursive
+query arrives from a host.  The co-located PCE registers here, which is the
+paper's "PCE_S obtains E_S by IPC with the DNS" (Step 1).
+"""
+
+from repro.dns.cache import TtlCache
+from repro.dns.message import DnsMessage, DnsWireError, FLAG_RD, make_query, make_reply
+from repro.dns.records import RCODE_NXDOMAIN, RCODE_SERVFAIL, TYPE_A, TYPE_CNAME
+from repro.dns.zone import Zone
+from repro.net.host import RequestTimeout
+
+DNS_PORT = 53
+MAX_REFERRALS = 16
+MAX_CNAME_CHASES = 4
+
+
+class ResolutionError(Exception):
+    """Iterative resolution failed (loop, timeout, or NXDOMAIN)."""
+
+
+class RecursiveResolver:
+    """Iterative resolver with referral and answer caches."""
+
+    def __init__(self, sim, node, root_hints, authoritative_zone=None,
+                 processing_delay=0.0002, use_cache=True, max_record_ttl=None,
+                 coalesce=True, negative_ttl=5.0):
+        self.sim = sim
+        self.node = node
+        self.root_hints = list(root_hints)
+        self.zone = authoritative_zone
+        self.processing_delay = processing_delay
+        self.use_cache = use_cache
+        self.max_record_ttl = max_record_ttl
+        self.coalesce = coalesce
+        self.negative_ttl = negative_ttl
+        self.answer_cache = TtlCache(sim, name=f"{node.name}-dns-answers")
+        self.negative_cache = TtlCache(sim, name=f"{node.name}-dns-negative")
+        self.referral_cache = TtlCache(sim, name=f"{node.name}-dns-referrals")
+        self.query_listeners = []
+        self.recursive_queries = 0
+        self.upstream_queries = 0
+        self.coalesced_queries = 0
+        self._in_flight = {}
+        self._ident = 1
+        node.bind_udp(DNS_PORT, self._on_datagram)
+        node.register_service("dns-resolver", self)
+
+    # ------------------------------------------------------------------ #
+    # Inbound datagram handling
+    # ------------------------------------------------------------------ #
+
+    def _on_datagram(self, packet, _node):
+        try:
+            message = DnsMessage.decode(bytes(packet.payload))
+        except (DnsWireError, TypeError):
+            return
+        if not message.is_query or message.question is None:
+            return
+        wants_recursion = bool(message.flags & FLAG_RD)
+        in_bailiwick = self.zone is not None and self.zone.covers(message.question.qname)
+        if wants_recursion and not in_bailiwick:
+            self._serve_recursive(message, packet)
+        else:
+            self._serve_authoritative(message, packet)
+
+    def _serve_authoritative(self, query, packet):
+        if self.zone is None:
+            reply = make_reply(query, rcode=RCODE_SERVFAIL)
+        else:
+            result = self.zone.lookup(query.question.qname, query.question.qtype)
+            reply = make_reply(query, answers=result.answers,
+                               authorities=result.authorities,
+                               additionals=result.additionals,
+                               authoritative=not result.is_referral,
+                               rcode=result.rcode)
+        self._reply_to(packet, reply)
+
+    def _serve_recursive(self, query, packet):
+        self.recursive_queries += 1
+        for listener in self.query_listeners:
+            listener(client=packet.ip.src, qname=query.question.qname, time=self.sim.now)
+
+        def handle():
+            resolution = yield self.resolve(query.question.qname, query.question.qtype)
+            reply = make_reply(query, answers=resolution.answers,
+                               rcode=resolution.rcode, recursion_available=True)
+            self._send_reply(packet, reply)
+
+        self.sim.process(handle(), name=f"{self.node.name}-recurse")
+
+    def _reply_to(self, packet, reply):
+        if self.processing_delay > 0:
+            self.sim.call_in(self.processing_delay, self._send_reply, packet, reply)
+        else:
+            self._send_reply(packet, reply)
+
+    def _send_reply(self, packet, reply):
+        self.node.send_udp(src=packet.ip.dst, dst=packet.ip.src, sport=DNS_PORT,
+                           dport=packet.udp.sport, payload=reply.encode())
+
+    # ------------------------------------------------------------------ #
+    # Iterative resolution
+    # ------------------------------------------------------------------ #
+
+    def _next_ident(self):
+        self._ident = (self._ident + 1) % 65536 or 1
+        return self._ident
+
+    def _cached_servers(self, qname):
+        """Deepest cached referral covering *qname*; falls back to roots."""
+        if self.use_cache:
+            labels = qname.rstrip(".").split(".")
+            for start in range(len(labels)):
+                suffix = ".".join(labels[start:]) + "."
+                servers = self.referral_cache.get(("ns", suffix))
+                if servers:
+                    return list(servers)
+        return list(self.root_hints)
+
+    def _record_ttl(self, record):
+        if self.max_record_ttl is None:
+            return record.ttl
+        return min(record.ttl, self.max_record_ttl)
+
+    def resolve(self, qname, qtype=TYPE_A, _depth=0):
+        """Process: iteratively resolve and return the final DnsMessage.
+
+        Follows CNAME chains across zones (bounded by MAX_CNAME_CHASES).
+        Identical concurrent resolutions are coalesced onto one in-flight
+        walk; NXDOMAIN outcomes are negatively cached for ``negative_ttl``.
+        The returned message's ``answers``/``rcode`` reflect the outcome;
+        SERVFAIL is used for loops and timeouts.
+        """
+
+        def _coalesced():
+            # Wait for the walk already in flight and reuse its outcome.
+            self.coalesced_queries += 1
+            leader = self._in_flight[(qname, qtype)]
+            result = yield leader
+            return result.copy()
+
+        def _resolve():
+            if self.use_cache:
+                cached = self.answer_cache.get((qname, qtype))
+                if cached is not None:
+                    synthetic = DnsMessage(ident=0, flags=0, answers=list(cached))
+                    return synthetic
+                negative = self.negative_cache.get((qname, qtype))
+                if negative is not None:
+                    return DnsMessage(ident=0, flags=0).with_rcode(negative)
+            if self.processing_delay > 0:
+                yield self.sim.timeout(self.processing_delay)
+            servers = self._cached_servers(qname)
+            failure_rcode = RCODE_SERVFAIL
+            for _step in range(MAX_REFERRALS):
+                if not servers:
+                    break
+                server = servers[0]
+                query = make_query(self._next_ident(), qname, qtype)
+                socket = self.node.open_udp()
+                self.upstream_queries += 1
+                try:
+                    packet = yield socket.request(server, DNS_PORT, payload=query.encode())
+                except RequestTimeout:
+                    servers = servers[1:]
+                    continue
+                finally:
+                    socket.close()
+                try:
+                    reply = DnsMessage.decode(bytes(packet.payload))
+                except (DnsWireError, TypeError):
+                    servers = servers[1:]
+                    continue
+                if reply.rcode == RCODE_NXDOMAIN:
+                    failure_rcode = RCODE_NXDOMAIN
+                    break
+                if reply.answers:
+                    wanted = [r for r in reply.answers if r.rtype == qtype]
+                    cnames = [r for r in reply.answers if r.rtype == TYPE_CNAME]
+                    if not wanted and cnames and qtype == TYPE_A \
+                            and _depth < MAX_CNAME_CHASES:
+                        # Cross-zone alias: restart at the canonical name and
+                        # splice the chain into the final answer.
+                        target = cnames[-1].data
+                        chased = yield self.resolve(target, qtype, _depth + 1)
+                        reply.answers = list(reply.answers) + list(chased.answers)
+                        if not chased.answers:
+                            return reply.with_rcode(chased.rcode)
+                    if self.use_cache:
+                        ttl = min(self._record_ttl(r) for r in reply.answers)
+                        self.answer_cache.put((qname, qtype), list(reply.answers), ttl)
+                    return reply
+                referral = reply.referral_servers()
+                glue = [address for _name, address in referral if address is not None]
+                if not glue:
+                    break
+                if self.use_cache and reply.authorities:
+                    child = reply.authorities[0].name
+                    ttl = min(self._record_ttl(r) for r in reply.authorities)
+                    self.referral_cache.put(("ns", child), list(glue), ttl)
+                servers = glue
+            if self.use_cache and failure_rcode == RCODE_NXDOMAIN \
+                    and self.negative_ttl > 0:
+                self.negative_cache.put((qname, qtype), RCODE_NXDOMAIN,
+                                        self.negative_ttl)
+            empty = DnsMessage(ident=0, flags=0)
+            return empty.with_rcode(failure_rcode)
+
+        key = (qname, qtype)
+        if self.coalesce and _depth == 0 and key in self._in_flight:
+            return self.sim.process(_coalesced(),
+                                    name=f"{self.node.name}-coalesce-{qname}")
+        process = self.sim.process(_resolve(),
+                                   name=f"{self.node.name}-resolve-{qname}")
+        if self.coalesce and _depth == 0:
+            self._in_flight[key] = process
+            process.callbacks.append(lambda _event: self._in_flight.pop(key, None))
+        return process
+
+
+class StubResolver:
+    """The end-host side: one recursive query to the site resolver."""
+
+    def __init__(self, sim, host, resolver_address):
+        self.sim = sim
+        self.host = host
+        self.resolver_address = resolver_address
+        self.lookups = 0
+
+    def lookup(self, qname, timeout=5.0, retries=1):
+        """Process: resolve *qname*; returns (address_or_None, elapsed)."""
+
+        def _lookup():
+            self.lookups += 1
+            started = self.sim.now
+            query = make_query(ident=self.lookups % 65536, qname=qname,
+                               recursion_desired=True)
+            socket = self.host.open_udp()
+            try:
+                packet = yield socket.request(self.resolver_address, DNS_PORT,
+                                              payload=query.encode(),
+                                              timeout=timeout, retries=retries)
+            except RequestTimeout:
+                return None, self.sim.now - started
+            finally:
+                socket.close()
+            try:
+                reply = DnsMessage.decode(bytes(packet.payload))
+            except (DnsWireError, TypeError):
+                return None, self.sim.now - started
+            addresses = reply.answer_addresses()
+            result = addresses[0] if addresses else None
+            return result, self.sim.now - started
+
+        return self.sim.process(_lookup(), name=f"{self.host.name}-lookup-{qname}")

@@ -1,0 +1,54 @@
+"""Authoritative DNS server service.
+
+A *service* object: it binds UDP port 53 on an existing node rather than
+subclassing it, so the same node could also host a PCE or other roles
+(mirroring the paper's co-located elements).
+"""
+
+from repro.dns.message import DnsMessage, DnsWireError, make_reply
+from repro.dns.records import RCODE_NXDOMAIN
+
+DNS_PORT = 53
+
+
+class AuthoritativeServer:
+    """Answers queries for one zone: answer, referral, or NXDOMAIN."""
+
+    def __init__(self, sim, node, zone, processing_delay=0.0002):
+        self.sim = sim
+        self.node = node
+        self.zone = zone
+        self.processing_delay = processing_delay
+        self.queries_served = 0
+        node.bind_udp(DNS_PORT, self._on_datagram)
+        node.register_service("dns-auth", self)
+
+    def _on_datagram(self, packet, _node):
+        try:
+            query = DnsMessage.decode(bytes(packet.payload))
+        except (DnsWireError, TypeError):
+            return
+        if not query.is_query or query.question is None:
+            return
+        self.queries_served += 1
+        reply = self.answer(query)
+        client = packet.ip.src
+        client_port = packet.udp.sport
+
+        def respond():
+            self.node.send_udp(src=packet.ip.dst, dst=client, sport=DNS_PORT,
+                               dport=client_port, payload=reply.encode())
+
+        if self.processing_delay > 0:
+            self.sim.call_in(self.processing_delay, respond)
+        else:
+            respond()
+
+    def answer(self, query):
+        """Build the authoritative reply for *query* (pure function of zone)."""
+        result = self.zone.lookup(query.question.qname, query.question.qtype)
+        if result.rcode == RCODE_NXDOMAIN:
+            return make_reply(query, authoritative=True, rcode=RCODE_NXDOMAIN)
+        return make_reply(query, answers=result.answers, authorities=result.authorities,
+                          additionals=result.additionals,
+                          authoritative=not result.is_referral)

@@ -1,0 +1,111 @@
+"""Authoritative zone data and lookup logic."""
+
+from repro.dns.records import (
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    TYPE_A,
+    TYPE_CNAME,
+    TYPE_NS,
+    ResourceRecord,
+    is_subdomain,
+    normalise_name,
+)
+
+
+class ZoneAnswer:
+    """The outcome of an authoritative lookup."""
+
+    __slots__ = ("rcode", "answers", "authorities", "additionals", "is_referral")
+
+    def __init__(self, rcode=RCODE_NOERROR, answers=(), authorities=(), additionals=(),
+                 is_referral=False):
+        self.rcode = rcode
+        self.answers = list(answers)
+        self.authorities = list(authorities)
+        self.additionals = list(additionals)
+        self.is_referral = is_referral
+
+
+class Zone:
+    """One zone: an origin, its records, and its delegations.
+
+    A delegation is expressed as NS records for a child name plus glue A
+    records for the nameserver names.
+    """
+
+    def __init__(self, origin):
+        self.origin = normalise_name(origin)
+        self._records = {}
+        self._delegations = {}
+
+    def add_record(self, record):
+        self._records.setdefault((record.name, record.rtype), []).append(record)
+        return record
+
+    def add_a(self, name, address, ttl=60.0):
+        return self.add_record(ResourceRecord(name, TYPE_A, ttl, address))
+
+    def add_cname(self, alias, target, ttl=60.0):
+        """Register *alias* as a CNAME for *target*."""
+        return self.add_record(ResourceRecord(alias, TYPE_CNAME, ttl, target))
+
+    def delegate(self, child_origin, ns_name, glue_address, ttl=3600.0):
+        """Delegate *child_origin* to a nameserver with a glue address."""
+        child = normalise_name(child_origin)
+        self._delegations.setdefault(child, []).append(
+            (ResourceRecord(child, TYPE_NS, ttl, ns_name),
+             ResourceRecord(ns_name, TYPE_A, ttl, glue_address))
+        )
+
+    def covers(self, name):
+        return is_subdomain(name, self.origin)
+
+    def _find_delegation(self, name):
+        """The most specific delegation at or above *name* (below origin)."""
+        name = normalise_name(name)
+        best = None
+        for child in self._delegations:
+            if is_subdomain(name, child):
+                if best is None or len(child) > len(best):
+                    best = child
+        return best
+
+    def lookup(self, qname, qtype=TYPE_A):
+        """Authoritative resolution of (*qname*, *qtype*) within this zone."""
+        qname = normalise_name(qname)
+        if not self.covers(qname):
+            # Out-of-bailiwick question: refuse via NXDOMAIN (simplified).
+            return ZoneAnswer(rcode=RCODE_NXDOMAIN)
+        exact = self._records.get((qname, qtype))
+        if exact:
+            return ZoneAnswer(answers=list(exact))
+        if qtype == TYPE_A:
+            # CNAME chase: answer with the alias chain plus, when the target
+            # lives in this zone, its address records (RFC 1034 §3.6.2).
+            chain = []
+            name = qname
+            for _ in range(8):
+                cname = self._records.get((name, TYPE_CNAME))
+                if not cname:
+                    break
+                chain.extend(cname)
+                name = cname[0].data
+                target_a = self._records.get((name, TYPE_A))
+                if target_a:
+                    return ZoneAnswer(answers=chain + list(target_a))
+            if chain:
+                return ZoneAnswer(answers=chain)
+        delegation = self._find_delegation(qname)
+        if delegation is not None and delegation != self.origin:
+            authorities = [ns for ns, _glue in self._delegations[delegation]]
+            additionals = [glue for _ns, glue in self._delegations[delegation]]
+            return ZoneAnswer(authorities=authorities, additionals=additionals,
+                              is_referral=True)
+        return ZoneAnswer(rcode=RCODE_NXDOMAIN)
+
+    def names(self):
+        """All owner names with records (diagnostics)."""
+        return sorted({name for name, _rtype in self._records})
+
+    def __str__(self):
+        return f"Zone({self.origin} records={len(self._records)} delegations={len(self._delegations)})"

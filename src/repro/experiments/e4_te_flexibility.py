@@ -1,0 +1,96 @@
+"""E4 — traffic-engineering flexibility (claim C3, weakness W3).
+
+All flows target one multihomed site.  In plain LISP the inbound locator is
+whatever static priority the site published (everything lands on one
+provider) and the reverse direction is pinned to the forward ITR.  The PCE
+control plane chooses the inbound locator per flow with its IRC engine, so
+inbound bytes spread across providers — and, independently, the *source*
+site spreads its outbound bytes, demonstrating the two one-way tunnels.
+
+Metrics: per-provider byte shares of the destination site's access links
+(inbound) and a max/mean imbalance figure; plus the same for one source
+site's uplinks (outbound).  An ablation re-runs PCE with the ``primary``
+IRC policy, which degenerates to the static baseline.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.experiments.workload import WorkloadConfig, run_workload
+
+DEFAULT_VARIANTS = (
+    ("pce+balance", dict(control_plane="pce", irc_policy="balance")),
+    ("pce+primary", dict(control_plane="pce", irc_policy="primary")),
+    ("alt-static", dict(control_plane="alt", miss_policy="queue")),
+    ("nerd-static", dict(control_plane="nerd")),
+)
+
+
+@dataclass
+class E4Row:
+    system: str
+    flows: int
+    inbound_shares: tuple
+    inbound_imbalance: float
+    outbound_shares: tuple
+    outbound_imbalance: float
+
+    def as_tuple(self):
+        inbound = "/".join(f"{share:.2f}" for share in self.inbound_shares)
+        outbound = "/".join(f"{share:.2f}" for share in self.outbound_shares)
+        return (self.system, self.flows, inbound, round(self.inbound_imbalance, 3),
+                outbound, round(self.outbound_imbalance, 3))
+
+
+HEADERS = ("system", "flows", "in_shares", "in_imbalance", "out_shares",
+           "out_imbalance")
+
+
+def _imbalance(shares):
+    positive = [s for s in shares]
+    if not positive or sum(positive) == 0:
+        return 1.0
+    mean = sum(positive) / len(positive)
+    return max(positive) / mean
+
+
+def run_e4(num_sites=5, providers_per_site=2, num_flows=40, seed=53,
+           variants=DEFAULT_VARIANTS, dest_site=0, source_site=1):
+    rows = []
+    for label, overrides in variants:
+        config = ScenarioConfig(num_sites=num_sites, seed=seed,
+                                providers_per_site=providers_per_site,
+                                **overrides)
+        scenario = build_scenario(config)
+        workload = WorkloadConfig(num_flows=num_flows, arrival_rate=10.0,
+                                  dest_site=dest_site, packets_per_flow=8,
+                                  payload_bytes=1200)
+        records = run_workload(scenario, workload)
+        destination = scenario.topology.sites[dest_site]
+        source = scenario.topology.sites[source_site]
+        inbound = scenario.access_byte_shares(destination, direction="in")
+        outbound = scenario.access_byte_shares(source, direction="out")
+        rows.append(E4Row(system=label, flows=len(records),
+                          inbound_shares=tuple(inbound),
+                          inbound_imbalance=_imbalance(inbound),
+                          outbound_shares=tuple(outbound),
+                          outbound_imbalance=_imbalance(outbound)))
+    return rows
+
+
+def check_shape(rows):
+    failures = []
+    by_system = {row.system: row for row in rows}
+    balanced = by_system.get("pce+balance")
+    primary = by_system.get("pce+primary")
+    static = by_system.get("alt-static") or by_system.get("nerd-static")
+    if balanced and balanced.inbound_imbalance > 1.5:
+        failures.append(
+            f"pce+balance inbound imbalance {balanced.inbound_imbalance:.2f} too high")
+    if balanced and primary and \
+            not primary.inbound_imbalance > balanced.inbound_imbalance:
+        failures.append("primary policy not more imbalanced than balance policy")
+    if balanced and static and \
+            not static.inbound_imbalance > balanced.inbound_imbalance:
+        failures.append("static baseline not more imbalanced than pce+balance")
+    return failures

@@ -1,0 +1,185 @@
+"""Scenario construction: one call builds a full world under a chosen CP.
+
+``control_plane`` selects among:
+
+- ``"pce"``   — the paper's PCE-based control plane;
+- ``"alt"``   — LISP+ALT overlay, reactive resolution at ITRs;
+- ``"cons"``  — CONS hierarchy, reactive;
+- ``"nerd"``  — NERD pushed database;
+- ``"plain"`` — no LISP at all: EIDs globally routable (today's Internet),
+  the baseline of the paper's first latency formula.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.control_plane import deploy_pce_control_plane
+from repro.dns.hierarchy import install_dns
+from repro.dns.resolver import StubResolver
+from repro.lisp.control import AltMappingSystem, ConsMappingSystem, NerdMappingSystem
+from repro.lisp.deploy import deploy_lisp
+from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
+from repro.net.topology import build_fig1_topology, build_topology
+from repro.sim import Simulator
+from repro.traffic.flows import TcpStack, UdpSink
+
+#: Port every host's TCP responder listens on.
+FLOW_TCP_PORT = 80
+#: Port every host's UDP sink listens on.
+FLOW_UDP_PORT = 9000
+
+CONTROL_PLANES = ("pce", "alt", "cons", "nerd", "plain")
+MISS_POLICIES = ("drop", "queue", "cp-data")
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything that defines a reproducible world."""
+
+    control_plane: str = "pce"
+    num_sites: int = 2
+    num_providers: int = 4
+    providers_per_site: int = 2
+    hosts_per_site: int = 2
+    seed: int = 1
+    fig1: bool = False
+    # Reactive-baseline knobs
+    miss_policy: str = "drop"
+    queue_depth: int = 8
+    gleaning: bool = True
+    cache_ttl_override: float = None
+    # Mapping / DNS lifetimes
+    mapping_ttl: float = 60.0
+    dns_host_ttl: float = 60.0
+    dns_use_cache: bool = True
+    dns_extra_levels: int = 0
+    # PCE knobs
+    irc_policy: str = "balance"
+    push_mode: str = "all"
+    precompute: bool = True
+    computation_delay: float = 0.0005
+    start_irc: bool = False
+    refresh_on_cached_answers: bool = True
+    enable_probing: bool = False
+    probe_period: float = 0.5
+    # Topology delay ranges (seconds)
+    wan_delay_range: tuple = (0.010, 0.040)
+    access_delay_range: tuple = (0.001, 0.005)
+
+    def variant(self, **overrides):
+        """A copy with fields overridden (for sweeps)."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class Scenario:
+    """A built world plus convenience accessors."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    topology: object
+    dns: object
+    control_plane: object = None      # PceControlPlane when config is "pce"
+    mapping_system: object = None     # baseline mapping system otherwise
+    miss_policy: object = None
+    xtrs_by_site: dict = field(default_factory=dict)
+    tcp_stacks: dict = field(default_factory=dict)
+    udp_sinks: dict = field(default_factory=dict)
+    stubs: dict = field(default_factory=dict)
+
+    @property
+    def name(self):
+        return self.config.control_plane
+
+    def stub_for(self, host, site):
+        key = host.name
+        if key not in self.stubs:
+            self.stubs[key] = StubResolver(self.sim, host, site.dns_address)
+        return self.stubs[key]
+
+    def host_name(self, site, host_index):
+        return self.dns.host_name(site, host_index)
+
+    def sink_for(self, site_index, host_index):
+        return self.udp_sinks[(site_index, host_index)]
+
+    def total_first_packet_drops(self):
+        if self.miss_policy is None:
+            return 0
+        return self.miss_policy.stats.dropped
+
+    def access_byte_shares(self, site, direction="in"):
+        """Per-provider byte share of *site*'s access links (E4)."""
+        key = "downlink" if direction == "in" else "uplink"
+        counts = [links[key].stats.tx_bytes for links in site.access_links]
+        total = sum(counts)
+        if total == 0:
+            return [0.0] * len(counts)
+        return [count / total for count in counts]
+
+
+def _make_miss_policy(sim, config):
+    if config.miss_policy == "drop":
+        return DropPolicy(sim)
+    if config.miss_policy == "queue":
+        return QueuePolicy(sim, max_queue=config.queue_depth)
+    if config.miss_policy == "cp-data":
+        return CpDataPolicy(sim)
+    raise ValueError(f"unknown miss policy {config.miss_policy!r}")
+
+
+def build_scenario(config):
+    """Build the world described by *config* and return a :class:`Scenario`."""
+    if config.control_plane not in CONTROL_PLANES:
+        raise ValueError(f"unknown control plane {config.control_plane!r}")
+    sim = Simulator(seed=config.seed)
+    topo_kwargs = dict(
+        num_providers=config.num_providers,
+        providers_per_site=config.providers_per_site,
+        hosts_per_site=config.hosts_per_site,
+        wan_delay_range=config.wan_delay_range,
+        access_delay_range=config.access_delay_range,
+        eids_globally_routable=(config.control_plane == "plain"),
+    )
+    if config.fig1:
+        topology = build_fig1_topology(sim, **topo_kwargs)
+    else:
+        topology = build_topology(sim, num_sites=config.num_sites, **topo_kwargs)
+    dns = install_dns(topology, host_ttl=config.dns_host_ttl,
+                      extra_levels=config.dns_extra_levels,
+                      use_cache=config.dns_use_cache)
+    scenario = Scenario(config=config, sim=sim, topology=topology, dns=dns)
+
+    if config.control_plane == "pce":
+        scenario.control_plane = deploy_pce_control_plane(
+            sim, topology, dns, irc_policy=config.irc_policy,
+            precompute=config.precompute, computation_delay=config.computation_delay,
+            mapping_ttl=config.mapping_ttl, push_mode=config.push_mode,
+            refresh_on_cached_answers=config.refresh_on_cached_answers,
+            start_irc=config.start_irc, enable_probing=config.enable_probing,
+            probe_period=config.probe_period)
+        scenario.miss_policy = scenario.control_plane.miss_policy
+        scenario.xtrs_by_site = scenario.control_plane.xtrs_by_site
+    elif config.control_plane != "plain":
+        if config.control_plane == "alt":
+            system = AltMappingSystem(sim)
+        elif config.control_plane == "cons":
+            system = ConsMappingSystem(sim, topology)
+        else:
+            system = NerdMappingSystem(sim, topology)
+        policy = _make_miss_policy(sim, config)
+        scenario.mapping_system = system
+        scenario.miss_policy = policy
+        scenario.xtrs_by_site = deploy_lisp(
+            sim, topology, system, policy, gleaning=config.gleaning,
+            cache_ttl_override=config.cache_ttl_override,
+            mapping_ttl=config.mapping_ttl)
+        sim.run()  # let deployment-time pushes (NERD) settle
+
+    for site in topology.sites:
+        for host_index, host in enumerate(site.hosts):
+            stack = TcpStack(sim, host)
+            stack.listen(FLOW_TCP_PORT)
+            scenario.tcp_stacks[host.name] = stack
+            scenario.udp_sinks[(site.index, host_index)] = UdpSink(
+                sim, host, FLOW_UDP_PORT)
+    return scenario

@@ -1,0 +1,43 @@
+"""LISP data plane and baseline control planes.
+
+Implements the draft-farinacci-lisp-08 machinery the paper builds on:
+
+- mapping records binding an EID prefix to a set of locators with
+  priority/weight (:mod:`repro.lisp.mappings`);
+- the ITR map-cache with TTL aging and longest-prefix match
+  (:mod:`repro.lisp.map_cache`);
+- tunnel routers performing encapsulation/decapsulation
+  (:mod:`repro.lisp.xtr`) with pluggable cache-miss policies
+  (:mod:`repro.lisp.policies`);
+- the baseline mapping systems the paper compares against — ALT, CONS and
+  NERD (:mod:`repro.lisp.control`).
+"""
+
+from repro.net.addresses import IPv4Prefix
+
+#: All EID space used by the reproduction's sites (see repro.net.topology).
+EID_SPACE = IPv4Prefix("100.0.0.0/8")
+
+#: LISP data-plane UDP port (draft-08).
+LISP_DATA_PORT = 4341
+#: LISP control-plane UDP port (draft-08).
+LISP_CONTROL_PORT = 4342
+
+from repro.lisp.mappings import MappingRecord, RlocEntry, site_mapping
+from repro.lisp.map_cache import MapCache
+from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
+from repro.lisp.xtr import TunnelRouter
+
+__all__ = [
+    "CpDataPolicy",
+    "DropPolicy",
+    "EID_SPACE",
+    "LISP_CONTROL_PORT",
+    "LISP_DATA_PORT",
+    "MapCache",
+    "MappingRecord",
+    "QueuePolicy",
+    "RlocEntry",
+    "TunnelRouter",
+    "site_mapping",
+]

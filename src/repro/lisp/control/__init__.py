@@ -1,0 +1,21 @@
+"""Baseline LISP mapping systems: ALT, CONS and NERD.
+
+These are the control planes the paper's §1 names and criticises.  Each is
+driven by real packets across the simulated WAN, so resolution latency is
+an emergent property of topology and overlay layout, and each accounts the
+control messages, bytes and per-router state that experiment E5 compares.
+"""
+
+from repro.lisp.control.base import ControlStats, MappingRegistry, MappingSystem
+from repro.lisp.control.alt import AltMappingSystem
+from repro.lisp.control.cons import ConsMappingSystem
+from repro.lisp.control.nerd import NerdMappingSystem
+
+__all__ = [
+    "AltMappingSystem",
+    "ConsMappingSystem",
+    "ControlStats",
+    "MappingRegistry",
+    "MappingSystem",
+    "NerdMappingSystem",
+]

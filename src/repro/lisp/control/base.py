@@ -1,0 +1,99 @@
+"""Common machinery for mapping systems."""
+
+from collections import defaultdict
+
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+
+class ControlStats:
+    """Message/byte/state accounting shared by all mapping systems."""
+
+    def __init__(self):
+        self.messages = 0
+        self.bytes = 0
+        self.by_type = defaultdict(int)
+        self.resolutions = 0
+        self.resolution_failures = 0
+        self.resolution_latencies = []
+
+    def count(self, message_type, size_bytes):
+        self.messages += 1
+        self.bytes += size_bytes
+        self.by_type[message_type] += 1
+
+    def record_resolution(self, latency, ok=True):
+        self.resolutions += 1
+        if ok:
+            self.resolution_latencies.append(latency)
+        else:
+            self.resolution_failures += 1
+
+
+class MappingRegistry:
+    """The authoritative EID-to-RLOC database, keyed by EID prefix."""
+
+    def __init__(self):
+        self._by_prefix = {}
+
+    def register(self, mapping):
+        self._by_prefix[mapping.eid_prefix] = mapping
+        return mapping
+
+    def lookup(self, eid):
+        """Most specific registered mapping covering *eid* (linear scan is
+        fine at registry sizes used here)."""
+        eid = IPv4Address(eid)
+        best = None
+        for prefix, mapping in self._by_prefix.items():
+            if prefix.contains(eid):
+                if best is None or prefix.length > best.eid_prefix.length:
+                    best = mapping
+        return best
+
+    def lookup_prefix(self, prefix):
+        return self._by_prefix.get(IPv4Prefix(prefix))
+
+    def all_mappings(self):
+        return list(self._by_prefix.values())
+
+    def __len__(self):
+        return len(self._by_prefix)
+
+
+class MappingSystem:
+    """Interface all mapping systems implement."""
+
+    name = "base"
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.stats = ControlStats()
+        self.registry = MappingRegistry()
+        self.xtrs = []
+
+    def register_site(self, site, mapping):
+        """Publish *site*'s authoritative mapping."""
+        self.registry.register(mapping)
+
+    def attach_xtr(self, xtr):
+        """Called by each TunnelRouter binding itself to this system."""
+        self.xtrs.append(xtr)
+
+    def resolve(self, xtr, eid):
+        """Process returning the mapping for *eid* (or None).  Subclasses
+        must override."""
+        raise NotImplementedError
+
+    def carry_data(self, xtr, packet, eid):
+        """Ship a data packet over the control plane (CpDataPolicy).
+
+        Returns True if the system accepted the packet.  Default: refuse.
+        """
+        return False
+
+    def state_entries_per_router(self):
+        """{node_name: number of control-plane state entries} for E5."""
+        return {}
+
+    def finalize(self):
+        """Hook run after all sites are registered (overlay builds, pushes)."""

@@ -1,0 +1,237 @@
+"""CONS: a hierarchical content-distribution-like mapping overlay.
+
+Content distribution Overlay Network Service for LISP (draft-meyer-lisp-cons)
+organises the mapping space as a tree: CARs (Content Access Routers) sit at
+the edge — here, each site's first border router — and CDRs (Content
+Distribution Routers) form the interior.  A Map-Request climbs the tree
+until an ancestor covers the target EID, descends to the authoritative CAR,
+and — unlike ALT — the *reply retraces the overlay path* back to the
+requester (CONS keeps both directions inside the secured overlay).
+
+CDRs are real hosts attached to provider routers, so every tree hop crosses
+the simulated WAN.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.lisp.control.base import MappingSystem
+from repro.lisp.headers import LISP_CONTROL_PORT, MapReply, MapRequest, next_nonce
+from repro.net.addresses import IPv4Address
+
+
+@dataclass
+class _ConsEnvelope:
+    """A Map-Request or Map-Reply travelling the CONS tree."""
+
+    kind: str                  # "request" | "reply"
+    request: MapRequest
+    path: list = field(default_factory=list)  # addresses ascended so far
+    mapping: object = None
+
+    @property
+    def size_bytes(self):
+        base = self.request.size_bytes + 4 + 8 * len(self.path)
+        if self.mapping is not None:
+            base += self.mapping.size_bytes
+        return base
+
+
+class _TreeNode:
+    __slots__ = ("name", "address", "node", "parent", "children", "site")
+
+    def __init__(self, name, address, node, site=None):
+        self.name = name
+        self.address = address
+        self.node = node
+        self.parent = None
+        self.children = []
+        self.site = site
+
+
+class ConsMappingSystem(MappingSystem):
+    """The CONS tree mapping system."""
+
+    name = "cons"
+
+    def __init__(self, sim, topology, branching=4, hop_processing_delay=0.0005,
+                 request_timeout=2.0, retries=1):
+        super().__init__(sim)
+        self.topology = topology
+        self.branching = max(2, branching)
+        self.hop_processing_delay = hop_processing_delay
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.sites = []
+        self._pending = {}
+        self._tree_by_address = {}
+        self._car_of_site = {}
+        self._xtr_of_node = {}
+        self._cdr_count = 0
+        self.tree_depth = 0
+
+    def register_site(self, site, mapping):
+        super().register_site(site, mapping)
+        self.sites.append(site)
+
+    def attach_xtr(self, xtr):
+        super().attach_xtr(xtr)
+        self._xtr_of_node[xtr.node.name] = xtr
+        xtr.node.bind_udp(LISP_CONTROL_PORT, self._on_control)
+
+    # -- tree construction -------------------------------------------------- #
+
+    def finalize(self):
+        order = sorted(self.sites, key=lambda site: site.index)
+        if not order:
+            return
+        level = []
+        for site in order:
+            car = _TreeNode(name=f"car-{site.name}", address=site.xtr_control_address(0),
+                            node=site.xtrs[0], site=site)
+            self._car_of_site[site.index] = car
+            self._tree_by_address[car.address] = car
+            level.append(car)
+        depth = 0
+        num_providers = len(self.topology.providers)
+        while len(level) > 1:
+            depth += 1
+            next_level = []
+            for start in range(0, len(level), self.branching):
+                group = level[start:start + self.branching]
+                address = IPv4Address(f"203.0.{113 + depth}.{10 + len(next_level)}")
+                host = self.topology.attach_infra_host(
+                    self._cdr_count % num_providers, f"cdr-d{depth}-{len(next_level)}",
+                    address)
+                self._cdr_count += 1
+                host.bind_udp(LISP_CONTROL_PORT, self._on_control)
+                cdr = _TreeNode(name=host.name, address=address, node=host)
+                for child in group:
+                    child.parent = cdr
+                    cdr.children.append(child)
+                self._tree_by_address[address] = cdr
+                next_level.append(cdr)
+            level = next_level
+        self.tree_depth = depth
+        self.topology.install_global_routes()
+
+    def _covers(self, tree_node, eid):
+        """True if *eid* belongs to a site in this subtree."""
+        if tree_node.site is not None:
+            return tree_node.site.eid_prefix.contains(eid)
+        return any(self._covers(child, eid) for child in tree_node.children)
+
+    def _child_covering(self, tree_node, eid):
+        for child in tree_node.children:
+            if self._covers(child, eid):
+                return child
+        return None
+
+    # -- resolution ----------------------------------------------------------- #
+
+    def resolve(self, xtr, eid):
+        def _resolve():
+            started = self.sim.now
+            car = self._car_of_site.get(xtr.site.index)
+            if car is None:
+                self.stats.record_resolution(0.0, ok=False)
+                return None
+            for _attempt in range(self.retries + 1):
+                nonce = next_nonce()
+                waiter = self.sim.event(name=f"cons-nonce-{nonce}")
+                self._pending[nonce] = waiter
+                request = MapRequest(nonce=nonce, eid=eid, itr_rloc=xtr.rloc)
+                envelope = _ConsEnvelope(kind="request", request=request,
+                                         path=[xtr.rloc])
+                self.stats.count("map-request", envelope.size_bytes)
+                xtr.node.send_udp(src=xtr.rloc, dst=car.address,
+                                  sport=LISP_CONTROL_PORT, dport=LISP_CONTROL_PORT,
+                                  payload=envelope)
+                deadline = self.sim.timeout(self.request_timeout)
+                outcome = yield self.sim.any_of([waiter, deadline])
+                if waiter in outcome:
+                    self.stats.record_resolution(self.sim.now - started, ok=True)
+                    return outcome[waiter]
+                self._pending.pop(nonce, None)
+            self.stats.record_resolution(self.sim.now - started, ok=False)
+            return None
+
+        return self.sim.process(_resolve(), name=f"cons-resolve-{eid}")
+
+    # -- overlay message handling ----------------------------------------------- #
+
+    def _on_control(self, packet, node):
+        payload = packet.payload
+        if isinstance(payload, _ConsEnvelope):
+            if payload.kind == "request":
+                self._handle_request(packet, payload, node)
+            else:
+                self._handle_reply(packet, payload, node)
+        elif isinstance(payload, MapReply):
+            waiter = self._pending.pop(payload.nonce, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(payload.mapping)
+
+    def _handle_request(self, packet, envelope, node):
+        me = self._tree_by_address.get(packet.ip.dst)
+        if me is None:
+            return
+        eid = envelope.request.eid
+        if me.site is not None and me.site.eid_prefix.contains(eid):
+            # Authoritative CAR: answer back along the recorded path.
+            mapping = self.registry.lookup(eid)
+            if mapping is None:
+                return
+            reply = _ConsEnvelope(kind="reply", request=envelope.request,
+                                  path=list(envelope.path), mapping=mapping)
+            self._send_back(node, me.address, reply)
+            return
+        if self._covers(me, eid):
+            target = self._child_covering(me, eid)
+        else:
+            target = me.parent
+        if target is None:
+            return
+        forward = _ConsEnvelope(kind="request", request=envelope.request,
+                                path=list(envelope.path) + [me.address])
+        self.stats.count("map-request-hop", forward.size_bytes)
+        self.sim.call_in(self.hop_processing_delay, node.send_udp,
+                         me.address, target.address, LISP_CONTROL_PORT,
+                         LISP_CONTROL_PORT, forward)
+
+    def _handle_reply(self, packet, envelope, node):
+        me = self._tree_by_address.get(packet.ip.dst)
+        if me is None:
+            return
+        self._send_back(node, me.address, envelope)
+
+    def _send_back(self, node, own_address, envelope):
+        """Send the reply envelope one step back along its recorded path."""
+        if not envelope.path:
+            return
+        next_address = envelope.path[-1]
+        remaining = _ConsEnvelope(kind="reply", request=envelope.request,
+                                  path=envelope.path[:-1], mapping=envelope.mapping)
+        if not remaining.path:
+            # Final hop: deliver a plain MapReply to the waiting ITR.
+            reply = MapReply(nonce=envelope.request.nonce, mapping=envelope.mapping)
+            self.stats.count("map-reply", reply.size_bytes)
+            self.sim.call_in(self.hop_processing_delay, node.send_udp,
+                             own_address, next_address, LISP_CONTROL_PORT,
+                             LISP_CONTROL_PORT, reply)
+            return
+        self.stats.count("map-reply-hop", remaining.size_bytes)
+        self.sim.call_in(self.hop_processing_delay, node.send_udp,
+                         own_address, next_address, LISP_CONTROL_PORT,
+                         LISP_CONTROL_PORT, remaining)
+
+    # -- reporting ----------------------------------------------------------- #
+
+    def state_entries_per_router(self):
+        entries = {}
+        for tree_node in self._tree_by_address.values():
+            if tree_node.site is not None:
+                entries[tree_node.node.name] = 1 + (1 if tree_node.parent else 0)
+            else:
+                entries[tree_node.node.name] = len(tree_node.children) + \
+                    (1 if tree_node.parent else 0)
+        return entries

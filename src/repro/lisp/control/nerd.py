@@ -1,0 +1,101 @@
+"""NERD: Not-so-novel EID-to-RLOC Database — push the whole database.
+
+draft-lear-lisp-nerd distributes the complete, signed mapping database to
+every ITR ahead of time.  Resolution never misses (there is nothing to
+resolve), which trades the paper's W1/W2 weaknesses for state that grows
+with the total number of EID prefixes on every router, plus full-database
+churn on updates — the trade-off experiment E5 quantifies.
+"""
+
+from dataclasses import dataclass
+
+from repro.lisp.control.base import MappingSystem
+from repro.net.addresses import IPv4Address
+
+NERD_PORT = 4346
+#: Fixed overhead of a database push message (header + signature).
+NERD_HEADER_BYTES = 64
+AUTHORITY_ADDRESS = IPv4Address("203.0.113.10")
+
+
+@dataclass
+class _DatabasePush:
+    """A full or incremental database transfer."""
+
+    version: int
+    mappings: tuple
+    full: bool
+
+    @property
+    def size_bytes(self):
+        return NERD_HEADER_BYTES + sum(m.size_bytes for m in self.mappings)
+
+
+class NerdMappingSystem(MappingSystem):
+    """Central authority pushing the mapping database to every xTR."""
+
+    name = "nerd"
+
+    def __init__(self, sim, topology, authority_provider=0):
+        super().__init__(sim)
+        self.topology = topology
+        self.version = 0
+        self.pushes_sent = 0
+        self.authority = topology.attach_infra_host(
+            authority_provider, "nerd-authority", AUTHORITY_ADDRESS)
+        topology.install_global_routes()
+        self._installed_versions = {}
+
+    def attach_xtr(self, xtr):
+        super().attach_xtr(xtr)
+        xtr.node.bind_udp(NERD_PORT, self._on_push)
+
+    def finalize(self):
+        """Initial full-database push to every attached xTR."""
+        self.version += 1
+        self._push_to_all(self.registry.all_mappings(), full=True)
+
+    def update_mapping(self, mapping):
+        """Authority-side update: register and push the delta everywhere."""
+        self.registry.register(mapping)
+        self.version += 1
+        self._push_to_all([mapping], full=False)
+
+    def _push_to_all(self, mappings, full):
+        message = _DatabasePush(version=self.version, mappings=tuple(mappings), full=full)
+        for xtr in self.xtrs:
+            self.stats.count("db-push-full" if full else "db-push-delta",
+                             message.size_bytes)
+            self.pushes_sent += 1
+            self.authority.send_udp(src=AUTHORITY_ADDRESS,
+                                    dst=xtr.site.xtr_control_address(
+                                        xtr.site.xtrs.index(xtr.node)),
+                                    sport=NERD_PORT, dport=NERD_PORT, payload=message)
+
+    def _on_push(self, packet, node):
+        message = packet.payload
+        if not isinstance(message, _DatabasePush):
+            return
+        xtr = node.services.get("xtr-service")
+        if xtr is None:
+            return
+        for mapping in message.mappings:
+            if mapping.eid_prefix == xtr.site.eid_prefix:
+                continue  # own site: no tunnel needed
+            xtr.install_mapping(mapping, origin="nerd-db", ttl=float("inf"))
+        self._installed_versions[node.name] = message.version
+
+    def resolve(self, xtr, eid):
+        """NERD has no request path: a miss means the database lacks the EID."""
+
+        def _resolve():
+            self.stats.record_resolution(0.0, ok=False)
+            return None
+            yield  # pragma: no cover - makes this a generator
+
+        return self.sim.process(_resolve(), name=f"nerd-resolve-{eid}")
+
+    def state_entries_per_router(self):
+        # Every xTR holds the full database (minus its own prefix).
+        total = len(self.registry)
+        return {xtr.node.name: max(0, total - 1) for xtr in self.xtrs}

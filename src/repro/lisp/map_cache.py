@@ -1,0 +1,96 @@
+"""The ITR map-cache: TTL-aged mappings with longest-prefix match.
+
+This is the cache whose misses cause the paper's weakness W1: "a hit might
+not necessarily be found, either because the mapping has aged out, or simply
+because it was never requested before" (§1).
+"""
+
+from repro.net.addresses import IPv4Address
+from repro.net.fib import Fib, FibEntry
+
+
+class _CacheSlot:
+    __slots__ = ("mapping", "expires", "installed_at", "origin")
+
+    def __init__(self, mapping, expires, installed_at, origin):
+        self.mapping = mapping
+        self.expires = expires
+        self.installed_at = installed_at
+        self.origin = origin
+
+
+class MapCache:
+    """EID-prefix keyed cache of :class:`~repro.lisp.mappings.MappingRecord`.
+
+    Lookup is longest-prefix match, as an ITR's would be; entries expire
+    after their record TTL (overridable), and expiry is detected lazily.
+    """
+
+    def __init__(self, sim, name="map-cache", ttl_override=None):
+        self.sim = sim
+        self.name = name
+        self.ttl_override = ttl_override
+        self._fib = Fib()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.installs = 0
+
+    def install(self, mapping, origin="resolved", ttl=None):
+        """Insert/refresh *mapping*; returns the effective TTL used.
+
+        TTL precedence: explicit *ttl* argument, then the cache-wide
+        override, then the record's own TTL.  ``float('inf')`` makes the
+        entry permanent (NERD's pushed database uses this).
+        """
+        if ttl is None:
+            ttl = self.ttl_override if self.ttl_override is not None else mapping.ttl
+        slot = _CacheSlot(mapping, self.sim.now + ttl, self.sim.now, origin)
+        self._fib.insert(FibEntry(mapping.eid_prefix, slot))
+        self.installs += 1
+        return ttl
+
+    def lookup(self, eid):
+        """The live mapping covering *eid*, or None (counts hits/misses)."""
+        slot = self._live_slot(eid)
+        if slot is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return slot.mapping
+
+    def peek(self, eid):
+        """Like :meth:`lookup` but without counting."""
+        slot = self._live_slot(eid)
+        return slot.mapping if slot is not None else None
+
+    def _live_slot(self, eid):
+        entry = self._fib.lookup(IPv4Address(eid), default=_MISS)
+        if entry is _MISS:
+            return None
+        slot = entry.interface
+        if slot.expires <= self.sim.now:
+            self._fib.remove(entry.prefix)
+            self.expirations += 1
+            return None
+        return slot
+
+    def invalidate(self, prefix):
+        self._fib.remove(prefix)
+
+    def entries(self):
+        """Live (prefix, mapping) pairs."""
+        now = self.sim.now
+        return [(entry.prefix, entry.interface.mapping)
+                for entry in self._fib.entries() if entry.interface.expires > now]
+
+    def __len__(self):
+        return len(self.entries())
+
+    @property
+    def hit_ratio(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+_MISS = object()

@@ -1,0 +1,136 @@
+"""RLOC reachability probing (draft-08 locator reachability).
+
+An ITR cannot tell from its map-cache whether a locator is still usable:
+the destination site's access link may have failed.  The prober sends
+periodic echo probes to every remote locator present in the map-cache and
+tracks replies.  After ``fail_threshold`` consecutive losses a locator is
+declared down — the ITR's :attr:`~repro.lisp.xtr.TunnelRouter.rloc_liveness`
+predicate then steers traffic to a backup locator in the mapping.  Probing
+continues while a locator is down, so recovery is detected automatically.
+
+This implements the substrate for the paper's future-work claim that the
+PCE control plane can perform "upstream/downstream TE through the dynamic
+management of the mappings": experiment E9 measures the blackhole window
+with and without it.
+"""
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address
+
+#: Dedicated UDP port for RLOC echo probes (4342 belongs to Map-Request).
+PROBE_PORT = 4347
+
+
+@dataclass
+class RlocProbe:
+    """An echo probe or its reply."""
+
+    nonce: int
+    is_reply: bool = False
+
+    @property
+    def size_bytes(self):
+        return 16
+
+
+class RlocProber:
+    """Probes every remote locator cached by one tunnel router."""
+
+    def __init__(self, sim, xtr, period=0.5, timeout=0.3, fail_threshold=2):
+        self.sim = sim
+        self.xtr = xtr
+        self.period = period
+        self.timeout = timeout
+        self.fail_threshold = fail_threshold
+        self.down = set()
+        self.probes_sent = 0
+        self.replies_received = 0
+        self.transitions = []           # (time, rloc, "down"|"up")
+        self.on_down = []
+        self.on_up = []
+        self._consecutive_misses = {}
+        self._pending = {}
+        self._nonce = 0
+        self._running = False
+        xtr.node.bind_udp(PROBE_PORT, self._on_probe)
+        xtr.rloc_liveness = self.is_up
+
+    def is_up(self, address):
+        return IPv4Address(address) not in self.down
+
+    def targets(self):
+        """Distinct remote locators currently in the map-cache."""
+        addresses = set()
+        for _prefix, mapping in self.xtr.map_cache.entries():
+            for entry in mapping.rlocs:
+                addresses.add(entry.address)
+        # Keep probing locators already marked down (to detect recovery).
+        addresses.update(self.down)
+        return sorted(addresses)
+
+    def start(self):
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._probe_loop(), name=f"prober-{self.xtr.node.name}")
+
+    def _probe_loop(self):
+        while True:
+            for address in self.targets():
+                self.sim.process(self._probe_once(address))
+            yield self.sim.timeout(self.period)
+
+    def _probe_once(self, address):
+        self._nonce += 1
+        nonce = self._nonce
+        waiter = self.sim.event(name=f"probe-{nonce}")
+        self._pending[nonce] = waiter
+        probe = RlocProbe(nonce=nonce)
+        self.probes_sent += 1
+        self.xtr.node.send_udp(src=self.xtr.rloc, dst=address,
+                               sport=PROBE_PORT, dport=PROBE_PORT, payload=probe)
+        deadline = self.sim.timeout(self.timeout)
+        outcome = yield self.sim.any_of([waiter, deadline])
+        if waiter in outcome:
+            self._mark_alive(address)
+        else:
+            self._pending.pop(nonce, None)
+            self._mark_missed(address)
+
+    def _mark_alive(self, address):
+        address = IPv4Address(address)
+        self._consecutive_misses[address] = 0
+        if address in self.down:
+            self.down.discard(address)
+            self.transitions.append((self.sim.now, address, "up"))
+            self.sim.trace.record(self.sim.now, self.xtr.node.name, "probe.rloc-up",
+                                  rloc=str(address))
+            for callback in self.on_up:
+                callback(address)
+
+    def _mark_missed(self, address):
+        address = IPv4Address(address)
+        misses = self._consecutive_misses.get(address, 0) + 1
+        self._consecutive_misses[address] = misses
+        if misses >= self.fail_threshold and address not in self.down:
+            self.down.add(address)
+            self.transitions.append((self.sim.now, address, "down"))
+            self.sim.trace.record(self.sim.now, self.xtr.node.name, "probe.rloc-down",
+                                  rloc=str(address))
+            for callback in self.on_down:
+                callback(address)
+
+    def _on_probe(self, packet, node):
+        message = packet.payload
+        if not isinstance(message, RlocProbe):
+            return
+        if message.is_reply:
+            waiter = self._pending.pop(message.nonce, None)
+            if waiter is not None and not waiter.triggered:
+                self.replies_received += 1
+                waiter.succeed(packet.ip.src)
+            return
+        reply = RlocProbe(nonce=message.nonce, is_reply=True)
+        node.send_udp(src=packet.ip.dst, dst=packet.ip.src, sport=PROBE_PORT,
+                      dport=PROBE_PORT, payload=reply)

@@ -1,0 +1,178 @@
+"""The tunnel router (xTR): ITR and ETR roles on a border router.
+
+ITR role — a forward tap on the border node intercepts packets whose
+destination is a *remote* EID, looks the EID up in the map-cache, and either
+encapsulates (hit) or invokes the miss policy and triggers resolution
+through the attached mapping system (miss).
+
+ETR role — datagrams on UDP 4341 are decapsulated and the inner packet is
+forwarded into the site.  Optional *gleaning* learns the reverse mapping
+(inner source EID -> outer source RLOC) from arriving packets, which is how
+plain LISP avoids a two-way resolution (paper §1, weakness W3).
+``decap_listeners`` fire on every decapsulation with a ``first_packet``
+flag — the PCE control plane's Step "first data packet reaches the ETR"
+hooks in there.
+"""
+
+from repro.lisp.headers import decapsulate, encapsulate
+from repro.lisp.map_cache import MapCache
+from repro.lisp.policies import mark_fate
+from repro.net.addresses import IPv4Prefix
+
+from repro.lisp import EID_SPACE, LISP_DATA_PORT
+
+#: TTL for gleaned reverse mappings (short; refreshed by traffic).
+GLEANING_TTL = 60.0
+
+
+class TunnelRouter:
+    """xTR service bound to a border-router node."""
+
+    def __init__(self, sim, node, site, miss_policy, mapping_system=None,
+                 gleaning=True, cache_ttl_override=None):
+        self.sim = sim
+        self.node = node
+        self.site = site
+        self.miss_policy = miss_policy
+        self.mapping_system = mapping_system
+        self.gleaning = gleaning
+        self.rloc = node.services["rloc"]
+        #: Optional predicate (address -> bool) from an RLOC prober; dead
+        #: locators are skipped at encapsulation time (failover).
+        self.rloc_liveness = None
+        self.map_cache = MapCache(sim, name=f"{node.name}-map-cache",
+                                  ttl_override=cache_ttl_override)
+        self.decap_listeners = []
+        self.encapsulated = 0
+        self.decapsulated = 0
+        self.no_rloc_drops = 0
+        self.misdelivered = 0
+        self.resolutions_started = 0
+        self.resolutions_failed = 0
+        self._pending = {}
+        self._seen_inner_sources = set()
+        node.add_forward_tap(self._itr_tap)
+        node.bind_udp(LISP_DATA_PORT, self._on_lisp_data)
+        node.register_service("xtr-service", self)
+        if mapping_system is not None:
+            mapping_system.attach_xtr(self)
+
+    def __str__(self):
+        return f"xTR({self.node.name} rloc={self.rloc})"
+
+    # ------------------------------------------------------------------ #
+    # ITR role
+    # ------------------------------------------------------------------ #
+
+    def _itr_tap(self, packet, _node):
+        destination = packet.ip.dst
+        if not EID_SPACE.contains(destination):
+            return False
+        if self.site.eid_prefix.contains(destination):
+            return False  # inbound to our own EIDs: normal intra-site forwarding
+        self.handle_outbound(packet, destination)
+        return True
+
+    def handle_outbound(self, packet, eid):
+        """Encapsulate toward *eid*, or apply the miss policy."""
+        mapping = self.map_cache.lookup(eid)
+        if mapping is not None:
+            self.encapsulate_and_send(packet, mapping)
+            return
+        self.sim.trace.record(self.sim.now, self.node.name, "itr.cache-miss",
+                              eid=str(eid), uid=packet.uid)
+        self.miss_policy.on_miss(self, packet, eid)
+        self._maybe_resolve(eid)
+
+    def encapsulate_and_send(self, packet, mapping):
+        rloc_entry = mapping.best_rloc(liveness=self.rloc_liveness)
+        if rloc_entry is None:
+            self.no_rloc_drops += 1
+            mark_fate(packet, "dropped-no-rloc")
+            return
+        source = mapping.source_rloc if mapping.source_rloc is not None else self.rloc
+        outer = encapsulate(packet, source, rloc_entry.address)
+        self.encapsulated += 1
+        mark_fate(packet, "encapsulated")
+        self.sim.trace.record(self.sim.now, self.node.name, "itr.encap",
+                              eid=str(packet.ip.dst), rloc=str(rloc_entry.address),
+                              src_rloc=str(source), uid=packet.uid)
+        self.node.send(outer)
+
+    def _maybe_resolve(self, eid):
+        if self.mapping_system is None:
+            return
+        key = int(eid) >> 8  # one resolution per /24 (site granularity)
+        if key in self._pending:
+            return
+        self._pending[key] = True
+        self.resolutions_started += 1
+
+        def run():
+            mapping = yield self.mapping_system.resolve(self, eid)
+            self._pending.pop(key, None)
+            if mapping is None:
+                self.resolutions_failed += 1
+                return
+            self.map_cache.install(mapping, origin="resolved")
+            self.sim.trace.record(self.sim.now, self.node.name, "itr.mapping-resolved",
+                                  eid=str(eid), prefix=str(mapping.eid_prefix))
+            self.miss_policy.on_resolved(self, eid, mapping)
+
+        self.sim.process(run(), name=f"{self.node.name}-resolve-{eid}")
+
+    def install_mapping(self, mapping, origin="pushed", ttl=None):
+        """Install a mapping delivered by push (PCE Step 7b, NERD database)."""
+        self.map_cache.install(mapping, origin=origin, ttl=ttl)
+        self.sim.trace.record(self.sim.now, self.node.name, "itr.mapping-installed",
+                              prefix=str(mapping.eid_prefix), origin=origin)
+        self.miss_policy.on_resolved(self, None, mapping)
+
+    # ------------------------------------------------------------------ #
+    # ETR role
+    # ------------------------------------------------------------------ #
+
+    def _on_lisp_data(self, packet, _node):
+        try:
+            inner, outer_ip, _lisp = decapsulate(packet)
+        except ValueError:
+            return
+        self.decapsulated += 1
+        destination = inner.ip.dst
+        if not self.site.eid_prefix.contains(destination):
+            self.misdelivered += 1
+            self.sim.trace.record(self.sim.now, self.node.name, "etr.misdelivered",
+                                  dst=str(destination), uid=packet.uid)
+            return
+        inner_source = inner.ip.src
+        first_packet = False
+        if EID_SPACE.contains(inner_source):
+            flow_key = (int(inner_source), int(destination))
+            if flow_key not in self._seen_inner_sources:
+                self._seen_inner_sources.add(flow_key)
+                first_packet = True
+        if self.gleaning and EID_SPACE.contains(inner_source) \
+                and self.map_cache.peek(inner_source) is None:
+            gleaned = _gleaned_mapping(inner_source, outer_ip.src)
+            self.map_cache.install(gleaned, origin="gleaned", ttl=GLEANING_TTL)
+            self.sim.trace.record(self.sim.now, self.node.name, "etr.gleaned",
+                                  eid=str(inner_source), rloc=str(outer_ip.src))
+        mark_fate(inner, "decapsulated")
+        self.sim.trace.record(self.sim.now, self.node.name, "etr.decap",
+                              dst=str(destination), uid=packet.uid)
+        for listener in self.decap_listeners:
+            listener(self, inner, outer_ip, first_packet)
+        self.node.send(inner)
+
+    def deliver_into_site(self, inner):
+        """Deliver a raw inner packet into the site (CP-carried data path)."""
+        mark_fate(inner, "delivered-via-cp")
+        self.node.send(inner)
+
+
+def _gleaned_mapping(inner_source, outer_source):
+    """A /32 reverse mapping learned from one data packet."""
+    from repro.lisp.mappings import MappingRecord, RlocEntry
+
+    return MappingRecord(IPv4Prefix(int(inner_source), 32),
+                         (RlocEntry(outer_source),), ttl=GLEANING_TTL)

@@ -1,0 +1,17 @@
+"""Exceptions raised by the network substrate."""
+
+
+class NetworkError(Exception):
+    """Base class for network-layer errors."""
+
+
+class AddressError(NetworkError, ValueError):
+    """Malformed address or prefix."""
+
+
+class NoRouteError(NetworkError):
+    """A FIB lookup found no matching entry."""
+
+
+class PortInUseError(NetworkError):
+    """A UDP/TCP port was bound twice on the same node."""

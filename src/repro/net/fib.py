@@ -1,0 +1,139 @@
+"""Forwarding Information Base: a binary radix trie with longest-prefix match."""
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.errors import NoRouteError
+
+
+@dataclass
+class FibEntry:
+    """A routing entry: where packets matching *prefix* should go.
+
+    ``interface`` is the egress :class:`~repro.net.node.Interface`;
+    ``next_hop`` is informational (point-to-point links need no ARP).
+    ``metric`` breaks ties when replacing entries for the same prefix.
+    """
+
+    prefix: IPv4Prefix
+    interface: object
+    next_hop: object = None
+    metric: float = 0.0
+
+    def __str__(self):
+        via = f" via {self.next_hop}" if self.next_hop is not None else ""
+        return f"{self.prefix} -> {getattr(self.interface, 'name', self.interface)}{via}"
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry")
+
+    def __init__(self):
+        self.children = [None, None]
+        self.entry = None
+
+
+class Fib:
+    """Longest-prefix-match table.
+
+    >>> fib = Fib()
+    >>> fib.insert(FibEntry(IPv4Prefix('10.0.0.0/8'), 'if0'))
+    >>> fib.insert(FibEntry(IPv4Prefix('10.1.0.0/16'), 'if1'))
+    >>> fib.lookup('10.1.2.3').interface
+    'if1'
+    >>> fib.lookup('10.2.0.1').interface
+    'if0'
+    """
+
+    def __init__(self):
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    @staticmethod
+    def _bits(prefix):
+        value = prefix.network.value
+        for position in range(prefix.length):
+            yield (value >> (31 - position)) & 1
+
+    def insert(self, entry):
+        """Insert *entry*, replacing any existing entry for the same prefix."""
+        node = self._root
+        for bit in self._bits(entry.prefix):
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        if node.entry is None:
+            self._size += 1
+        node.entry = entry
+
+    def add(self, prefix, interface, next_hop=None, metric=0.0):
+        """Shorthand for :meth:`insert`."""
+        self.insert(FibEntry(IPv4Prefix(prefix), interface, next_hop, metric))
+
+    def remove(self, prefix):
+        """Remove the entry for exactly *prefix*; returns it (or None)."""
+        prefix = IPv4Prefix(prefix)
+        node = self._root
+        for bit in self._bits(prefix):
+            if node.children[bit] is None:
+                return None
+            node = node.children[bit]
+        entry, node.entry = node.entry, None
+        if entry is not None:
+            self._size -= 1
+        return entry
+
+    def lookup(self, address, default=None):
+        """Most-specific entry matching *address*; *default* if none.
+
+        Raises :class:`NoRouteError` when no entry matches and no default is
+        provided.
+        """
+        value = IPv4Address(address).value
+        node = self._root
+        best = node.entry
+        for position in range(32):
+            bit = (value >> (31 - position)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.entry is not None:
+                best = node.entry
+        if best is not None:
+            return best
+        if default is not None:
+            return default
+        raise NoRouteError(f"no route to {IPv4Address(address)}")
+
+    def lookup_exact(self, prefix):
+        """Entry stored for exactly *prefix*, or None."""
+        prefix = IPv4Prefix(prefix)
+        node = self._root
+        for bit in self._bits(prefix):
+            if node.children[bit] is None:
+                return None
+            node = node.children[bit]
+        return node.entry
+
+    def entries(self):
+        """All entries, in prefix order."""
+        collected = []
+
+        def walk(node):
+            if node is None:
+                return
+            if node.entry is not None:
+                collected.append(node.entry)
+            walk(node.children[0])
+            walk(node.children[1])
+
+        walk(self._root)
+        collected.sort(key=lambda entry: (entry.prefix.network.value, entry.prefix.length))
+        return collected
+
+    def clear(self):
+        self._root = _TrieNode()
+        self._size = 0

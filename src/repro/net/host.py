@@ -1,0 +1,103 @@
+"""End hosts: the sources and sinks of application traffic.
+
+Hosts expose a tiny socket-like API: :meth:`Host.open_udp` returns a
+:class:`UdpSocket` whose :meth:`~UdpSocket.request` method implements the
+send-and-await-reply pattern used by DNS lookups, with timeout and retry.
+"""
+
+from repro.net.addresses import IPv4Address
+from repro.net.node import Node
+from repro.net.packet import udp_packet
+
+
+class RequestTimeout(Exception):
+    """A :meth:`UdpSocket.request` exceeded its timeout (after retries)."""
+
+
+class UdpSocket:
+    """An ephemeral UDP endpoint bound to a host port."""
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = port
+        self._waiters = []
+        self.on_datagram = None
+        host.bind_udp(port, self._deliver)
+
+    def _deliver(self, packet, _node):
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            if not waiter.triggered:
+                waiter.succeed(packet)
+                return
+        if self.on_datagram is not None:
+            self.on_datagram(packet)
+
+    def send(self, dst, dport, payload=None, payload_bytes=0, meta=None):
+        """Fire-and-forget datagram."""
+        packet = udp_packet(self.host.address, IPv4Address(dst), self.port, dport,
+                            payload=payload, payload_bytes=payload_bytes, meta=meta)
+        self.host.send(packet)
+        return packet
+
+    def request(self, dst, dport, payload=None, payload_bytes=0, timeout=2.0, retries=2):
+        """Process: send and wait for the next datagram on this socket.
+
+        Retries up to *retries* extra times on timeout, then raises
+        :class:`RequestTimeout` inside the calling process.
+        """
+        sim = self.host.sim
+
+        def _request():
+            attempts = retries + 1
+            for attempt in range(attempts):
+                self.send(dst, dport, payload=payload, payload_bytes=payload_bytes)
+                waiter = sim.event(name=f"udp:{self.host.name}:{self.port}")
+                self._waiters.append(waiter)
+                deadline = sim.timeout(timeout)
+                outcome = yield sim.any_of([waiter, deadline])
+                if waiter in outcome:
+                    return outcome[waiter]
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+            raise RequestTimeout(f"{self.host.name}:{self.port} -> {dst}:{dport}")
+
+        return sim.process(_request())
+
+    def close(self):
+        self.host.unbind_udp(self.port)
+
+
+class Host(Node):
+    """An end host with a single address and simple socket API."""
+
+    def __init__(self, sim, name, address=None):
+        super().__init__(sim, name)
+        self._address = IPv4Address(address) if address is not None else None
+        if self._address is not None:
+            self.add_address(self._address)
+        self._next_ephemeral = 49152
+
+    @property
+    def address(self):
+        """The host's primary address."""
+        return self._address if self._address is not None else self.primary_address()
+
+    @address.setter
+    def address(self, value):
+        self._address = IPv4Address(value)
+        self.add_address(self._address)
+
+    def ephemeral_port(self):
+        """Allocate the next ephemeral port (wraps within the IANA range)."""
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = 49152
+        return port
+
+    def open_udp(self, port=None):
+        """Open a UDP socket (ephemeral port when *port* is None)."""
+        if port is None:
+            port = self.ephemeral_port()
+        return UdpSocket(self, port)

@@ -1,0 +1,132 @@
+"""Point-to-point links with delay, bandwidth and finite FIFO queues.
+
+A :class:`Link` is simplex; :func:`connect` wires two interfaces with a pair
+of opposite simplex links (full duplex).  Transmission of a packet occupies
+the link for ``size * 8 / rate`` seconds; packets arriving while the
+transmitter is busy queue up to ``queue_capacity`` packets, beyond which they
+are tail-dropped.  Propagation delay is added after serialisation.
+"""
+
+from collections import deque
+
+
+class LinkStats:
+    """Counters accumulated by a link over its lifetime."""
+
+    __slots__ = ("tx_packets", "tx_bytes", "drops", "max_queue", "busy_time")
+
+    def __init__(self):
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.drops = 0
+        self.max_queue = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed):
+        """Fraction of *elapsed* time the transmitter was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Link:
+    """A simplex link from ``src_interface`` to ``dst_interface``.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    delay:
+        One-way propagation delay in seconds.
+    rate_bps:
+        Transmission rate in bits/second; ``None`` means infinite (zero
+        serialisation delay), which most control-plane experiments use so
+        that latency is dominated by propagation as in the paper's formulas.
+    queue_capacity:
+        Maximum packets waiting behind the one being serialised.
+    """
+
+    def __init__(self, sim, src_interface, dst_interface, delay=0.001, rate_bps=None,
+                 queue_capacity=1000, name=None):
+        if delay < 0:
+            raise ValueError(f"negative link delay {delay}")
+        self.sim = sim
+        self.src_interface = src_interface
+        self.dst_interface = dst_interface
+        self.delay = delay
+        self.rate_bps = rate_bps
+        self.queue_capacity = queue_capacity
+        self.name = name or f"{src_interface}->{dst_interface}"
+        self.stats = LinkStats()
+        self._queue = deque()
+        self._busy = False
+        self.up = True
+
+    def __str__(self):
+        return self.name
+
+    def send(self, packet):
+        """Accept *packet* for transmission; returns False on tail drop."""
+        if not self.up:
+            self.stats.drops += 1
+            self.sim.trace.record(self.sim.now, self.name, "link.drop", reason="down",
+                                  uid=packet.uid)
+            return False
+        if self._busy and len(self._queue) >= self.queue_capacity:
+            self.stats.drops += 1
+            self.sim.trace.record(self.sim.now, self.name, "link.drop", reason="queue-full",
+                                  uid=packet.uid)
+            return False
+        if self._busy:
+            self._queue.append(packet)
+            self.stats.max_queue = max(self.stats.max_queue, len(self._queue))
+            return True
+        self._transmit(packet)
+        return True
+
+    def _serialisation_time(self, packet):
+        if self.rate_bps is None:
+            return 0.0
+        return packet.size_bytes * 8.0 / self.rate_bps
+
+    def _transmit(self, packet):
+        self._busy = True
+        tx_time = self._serialisation_time(packet)
+        self.stats.busy_time += tx_time
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size_bytes
+        self.sim.call_in(tx_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet):
+        # Propagation starts once the last bit is on the wire.
+        self.sim.call_in(self.delay, self._deliver, packet)
+        if self._queue:
+            self._transmit(self._queue.popleft())
+        else:
+            self._busy = False
+
+    def _deliver(self, packet):
+        if not self.up:
+            self.stats.drops += 1
+            return
+        self.dst_interface.node.receive(packet, self.dst_interface)
+
+    @property
+    def queue_length(self):
+        """Packets currently waiting (excluding the one in serialisation)."""
+        return len(self._queue)
+
+
+def connect(sim, iface_a, iface_b, delay=0.001, rate_bps=None, queue_capacity=1000):
+    """Create a full-duplex connection (two simplex links) between interfaces.
+
+    Returns the (a->b, b->a) link pair and attaches each link to the sending
+    interface.
+    """
+    forward = Link(sim, iface_a, iface_b, delay=delay, rate_bps=rate_bps,
+                   queue_capacity=queue_capacity, name=f"{iface_a.name}->{iface_b.name}")
+    backward = Link(sim, iface_b, iface_a, delay=delay, rate_bps=rate_bps,
+                    queue_capacity=queue_capacity, name=f"{iface_b.name}->{iface_a.name}")
+    iface_a.attach_link(forward)
+    iface_b.attach_link(backward)
+    return forward, backward

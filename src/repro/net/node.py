@@ -1,0 +1,211 @@
+"""Nodes and interfaces: the forwarding and demultiplexing machinery.
+
+A :class:`Node` owns interfaces, a FIB, and a registry of protocol and UDP
+port handlers.  Higher layers (DNS servers, LISP tunnel routers, PCEs) are
+implemented as *services*: objects that bind handlers on a node rather than
+subclassing it, so one physical node can host several roles, exactly like
+the paper's co-located DNS + PCE.
+"""
+
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.errors import NoRouteError, PortInUseError
+from repro.net.fib import Fib
+from repro.net.packet import PROTO_UDP, Packet, UDPHeader
+
+
+class Interface:
+    """A network attachment point on a node."""
+
+    __slots__ = ("node", "name", "address", "link")
+
+    def __init__(self, node, name, address=None):
+        self.node = node
+        self.name = f"{node.name}.{name}"
+        self.address = IPv4Address(address) if address is not None else None
+        self.link = None
+
+    def attach_link(self, link):
+        self.link = link
+
+    @property
+    def peer(self):
+        """The interface at the other end of the attached link."""
+        return self.link.dst_interface if self.link is not None else None
+
+    def __str__(self):
+        return self.name
+
+
+class Node:
+    """A network element with interfaces, a FIB, and protocol handlers."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.interfaces = {}
+        self.fib = Fib()
+        self.extra_addresses = set()
+        self.services = {}
+        self._proto_handlers = {}
+        self._udp_ports = {}
+        self.forward_taps = []
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.dropped_packets = 0
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__} {self.name}>"
+
+    # ------------------------------------------------------------------ #
+    # Interfaces and addressing
+    # ------------------------------------------------------------------ #
+
+    def add_interface(self, name, address=None):
+        """Create and register an interface; returns it."""
+        if name in self.interfaces:
+            raise ValueError(f"{self.name} already has interface {name}")
+        interface = Interface(self, name, address)
+        self.interfaces[name] = interface
+        return interface
+
+    def add_address(self, address):
+        """Register an additional local address (e.g. a loopback/service IP)."""
+        self.extra_addresses.add(IPv4Address(address))
+
+    def addresses(self):
+        """All addresses considered local to this node."""
+        local = set(self.extra_addresses)
+        for interface in self.interfaces.values():
+            if interface.address is not None:
+                local.add(interface.address)
+        return local
+
+    def primary_address(self):
+        """A deterministic 'main' address for this node (lowest local)."""
+        local = self.addresses()
+        if not local:
+            raise NoRouteError(f"{self.name} has no addresses")
+        return min(local)
+
+    def is_local(self, address):
+        return IPv4Address(address) in self.addresses()
+
+    # ------------------------------------------------------------------ #
+    # Handler registration (services plug in here)
+    # ------------------------------------------------------------------ #
+
+    def register_service(self, name, service):
+        """Attach a named service object for later lookup."""
+        self.services[name] = service
+        return service
+
+    def register_protocol(self, proto, handler):
+        """Handle locally-delivered packets of IP protocol *proto*."""
+        self._proto_handlers[proto] = handler
+
+    def bind_udp(self, port, handler):
+        """Handle locally-delivered UDP datagrams to *port*.
+
+        *handler(packet, node)* is called with the full packet.
+        """
+        if port in self._udp_ports:
+            raise PortInUseError(f"{self.name} UDP port {port} already bound")
+        self._udp_ports[port] = handler
+
+    def unbind_udp(self, port):
+        self._udp_ports.pop(port, None)
+
+    def add_forward_tap(self, tap):
+        """Register *tap(packet, node) -> bool* run on forwarded packets.
+
+        A tap returning True consumes the packet (normal forwarding stops).
+        This is how the PCE observes DNS traffic transiting through it
+        without being the packet's IP destination (Steps 2-6 of Fig. 1).
+        """
+        self.forward_taps.append(tap)
+
+    # ------------------------------------------------------------------ #
+    # Receive path
+    # ------------------------------------------------------------------ #
+
+    def receive(self, packet, interface=None):
+        """Entry point for packets arriving from a link (or injected)."""
+        self.rx_packets += 1
+        ip = packet.ip
+        if ip is None:
+            self.dropped_packets += 1
+            return
+        if self.is_local(ip.dst):
+            self.deliver_local(packet)
+        else:
+            self.forward(packet, interface)
+
+    def deliver_local(self, packet):
+        """Dispatch a packet addressed to this node."""
+        ip = packet.ip
+        if ip.proto == PROTO_UDP:
+            udp = packet.udp
+            handler = self._udp_ports.get(udp.dport) if udp is not None else None
+            if handler is not None:
+                handler(packet, self)
+                return
+        handler = self._proto_handlers.get(ip.proto)
+        if handler is not None:
+            handler(packet, self)
+            return
+        self.dropped_packets += 1
+        self.sim.trace.record(self.sim.now, self.name, "node.unclaimed",
+                              proto=ip.proto, dst=str(ip.dst), uid=packet.uid)
+
+    def forward(self, packet, interface=None):
+        """Base nodes do not forward; see :class:`~repro.net.router.Router`."""
+        self.dropped_packets += 1
+        self.sim.trace.record(self.sim.now, self.name, "node.no-forward",
+                              dst=str(packet.ip.dst), uid=packet.uid)
+
+    # ------------------------------------------------------------------ #
+    # Send path
+    # ------------------------------------------------------------------ #
+
+    def send(self, packet):
+        """Route *packet* via the FIB and put it on the egress link.
+
+        Returns True if the packet was accepted by a link.
+        """
+        ip = packet.ip
+        if ip is None:
+            raise ValueError("packet has no IP header")
+        if self.is_local(ip.dst):
+            # Local-to-local delivery without touching the wire.
+            self.sim.call_in(0.0, self.deliver_local, packet)
+            return True
+        try:
+            entry = self.fib.lookup(ip.dst)
+        except NoRouteError:
+            self.dropped_packets += 1
+            self.sim.trace.record(self.sim.now, self.name, "node.no-route",
+                                  dst=str(ip.dst), uid=packet.uid)
+            return False
+        interface = entry.interface
+        if interface is None or interface.link is None:
+            self.dropped_packets += 1
+            return False
+        self.tx_packets += 1
+        return interface.link.send(packet)
+
+    def send_udp(self, src, dst, sport, dport, payload=None, payload_bytes=0, meta=None):
+        """Build and send a UDP datagram from this node."""
+        from repro.net.packet import IPv4Header  # local import to avoid cycle noise
+
+        packet = Packet(
+            headers=[IPv4Header(src=src, dst=dst, proto=PROTO_UDP),
+                     UDPHeader(sport, dport)],
+            payload=payload,
+            payload_bytes=payload_bytes,
+            meta=meta or {},
+        )
+        self.send(packet)
+        return packet

@@ -1,0 +1,222 @@
+"""Packet model: header stacks, encapsulation, sizing.
+
+Packets carry a list of headers (outermost first) plus a payload, which may
+be raw ``bytes``, an application-level message object (e.g. a DNS message),
+or another :class:`Packet` — the latter is how IP-in-IP / LISP encapsulation
+is modelled.  Sizes are tracked in bytes so links can compute serialisation
+delay and queues can account occupancy.
+"""
+
+from dataclasses import dataclass, field, replace
+from itertools import count
+
+from repro.net.addresses import IPv4Address
+
+PROTO_ICMP = 1
+PROTO_IPIP = 4
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+IPV4_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+TCP_HEADER_BYTES = 20
+
+_packet_ids = count(1)
+
+
+@dataclass
+class IPv4Header:
+    """The fields of an IPv4 header the simulator cares about."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    proto: int
+    ttl: int = 64
+    tos: int = 0
+
+    def __post_init__(self):
+        self.src = IPv4Address(self.src)
+        self.dst = IPv4Address(self.dst)
+
+    @property
+    def size_bytes(self):
+        return IPV4_HEADER_BYTES
+
+    def __str__(self):
+        return f"IP({self.src}->{self.dst} proto={self.proto} ttl={self.ttl})"
+
+
+@dataclass
+class UDPHeader:
+    """UDP source/destination ports."""
+
+    sport: int
+    dport: int
+
+    @property
+    def size_bytes(self):
+        return UDP_HEADER_BYTES
+
+    def __str__(self):
+        return f"UDP({self.sport}->{self.dport})"
+
+
+# TCP flag bits.
+TCP_SYN = 0x02
+TCP_ACK = 0x10
+TCP_FIN = 0x01
+TCP_RST = 0x04
+
+
+@dataclass
+class TCPHeader:
+    """A minimal TCP header: ports, flags, sequence numbers."""
+
+    sport: int
+    dport: int
+    flags: int = 0
+    seq: int = 0
+    ack: int = 0
+
+    @property
+    def size_bytes(self):
+        return TCP_HEADER_BYTES
+
+    @property
+    def is_syn(self):
+        return bool(self.flags & TCP_SYN) and not self.flags & TCP_ACK
+
+    @property
+    def is_synack(self):
+        return bool(self.flags & TCP_SYN) and bool(self.flags & TCP_ACK)
+
+    @property
+    def is_ack(self):
+        return bool(self.flags & TCP_ACK) and not self.flags & TCP_SYN
+
+    def __str__(self):
+        names = []
+        for bit, name in ((TCP_SYN, "SYN"), (TCP_ACK, "ACK"), (TCP_FIN, "FIN"), (TCP_RST, "RST")):
+            if self.flags & bit:
+                names.append(name)
+        return f"TCP({self.sport}->{self.dport} {'|'.join(names) or '-'})"
+
+
+@dataclass
+class Packet:
+    """A packet in flight.
+
+    Attributes
+    ----------
+    headers:
+        Outermost-first list of header objects (each exposing ``size_bytes``).
+    payload:
+        ``bytes``, an application message (exposing ``size_bytes`` or
+        encodable), or another :class:`Packet` (encapsulation).
+    payload_bytes:
+        Explicit payload size; required when the payload object does not
+        expose one.
+    meta:
+        Free-form annotations (flow id, creation time, hop count...).  Meta
+        survives :meth:`copy` so experiments can follow a packet end-to-end.
+    """
+
+    headers: list
+    payload: object = None
+    payload_bytes: int = 0
+    meta: dict = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size_bytes(self):
+        """Total on-wire size: all header bytes plus the payload size."""
+        total = sum(header.size_bytes for header in self.headers)
+        return total + self._payload_size()
+
+    def _payload_size(self):
+        if self.payload is None:
+            return self.payload_bytes
+        if isinstance(self.payload, Packet):
+            return self.payload.size_bytes
+        if isinstance(self.payload, (bytes, bytearray)):
+            return len(self.payload)
+        size = getattr(self.payload, "size_bytes", None)
+        if size is not None:
+            return size
+        return self.payload_bytes
+
+    @property
+    def ip(self):
+        """The outermost IPv4 header (or None)."""
+        return self.find(IPv4Header)
+
+    @property
+    def udp(self):
+        """The outermost UDP header (or None)."""
+        return self.find(UDPHeader)
+
+    @property
+    def tcp(self):
+        """The outermost TCP header (or None)."""
+        return self.find(TCPHeader)
+
+    def find(self, header_type):
+        """First header of *header_type* in this packet's own stack."""
+        for header in self.headers:
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    @property
+    def inner(self):
+        """The encapsulated packet, if the payload is a packet."""
+        return self.payload if isinstance(self.payload, Packet) else None
+
+    def innermost(self):
+        """Follow encapsulation down to the innermost packet."""
+        packet = self
+        while packet.inner is not None:
+            packet = packet.inner
+        return packet
+
+    def copy(self):
+        """Deep-enough copy: headers and meta copied, payload shared.
+
+        Header objects are replaced (dataclass ``replace``) so in-flight TTL
+        mutation on one copy never affects another.
+        """
+        cloned_payload = self.payload.copy() if isinstance(self.payload, Packet) else self.payload
+        return Packet(
+            headers=[replace(header) for header in self.headers],
+            payload=cloned_payload,
+            payload_bytes=self.payload_bytes,
+            meta=dict(self.meta),
+        )
+
+    def __str__(self):
+        stack = " / ".join(str(header) for header in self.headers)
+        if self.inner is not None:
+            return f"[{stack} | {self.inner}]"
+        return f"[{stack} len={self.size_bytes}]"
+
+
+def udp_packet(src, dst, sport, dport, payload=None, payload_bytes=0, ttl=64, meta=None):
+    """Convenience constructor for a UDP datagram."""
+    return Packet(
+        headers=[IPv4Header(src=src, dst=dst, proto=PROTO_UDP, ttl=ttl), UDPHeader(sport, dport)],
+        payload=payload,
+        payload_bytes=payload_bytes,
+        meta=meta or {},
+    )
+
+
+def tcp_packet(src, dst, sport, dport, flags=0, seq=0, ack=0, payload_bytes=0, ttl=64, meta=None):
+    """Convenience constructor for a TCP segment."""
+    return Packet(
+        headers=[
+            IPv4Header(src=src, dst=dst, proto=PROTO_TCP, ttl=ttl),
+            TCPHeader(sport, dport, flags=flags, seq=seq, ack=ack),
+        ],
+        payload_bytes=payload_bytes,
+        meta=meta or {},
+    )

@@ -1,0 +1,100 @@
+"""Route computation for the provider core.
+
+The global routing domain consists of the provider routers, connected in a
+random-delay full mesh (built in :mod:`repro.net.topology`).  Site prefixes
+(infrastructure and, optionally, EID space) are *attached* to a home
+provider; this module computes shortest paths over the mesh and installs,
+in every provider router's FIB:
+
+- each provider's own /8 locator block,
+- every attachment's prefix, pointing toward the home provider and, at the
+  home provider itself, out of the access interface.
+
+Intra-site routing is installed explicitly by the topology builder — sites
+are stubs and must never transit traffic, which a blind shortest-path
+computation over the full node set would allow.
+"""
+
+import heapq
+
+from repro.net.fib import FibEntry
+
+
+def shortest_path_next_hops(adjacency, source):
+    """Dijkstra over ``adjacency[u] -> [(v, delay, iface), ...]``.
+
+    Returns ``{dest: (first_hop_iface, total_delay)}`` for every reachable
+    destination from *source*.  Pure-Python implementation so the routing
+    layer has no third-party dependency.
+    """
+    distances = {source: 0.0}
+    first_hop = {}
+    heap = [(0.0, 0, source, None)]
+    counter = 0
+    visited = set()
+    while heap:
+        dist, _tie, node, via = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if via is not None:
+            first_hop[node] = (via, dist)
+        for neighbour, delay, iface in adjacency.get(node, ()):
+            candidate = dist + delay
+            if neighbour not in distances or candidate < distances[neighbour]:
+                distances[neighbour] = candidate
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbour,
+                                      via if via is not None else iface))
+    return first_hop
+
+
+def build_adjacency(routers):
+    """Adjacency restricted to links whose both ends are in *routers*."""
+    member = set(routers)
+    adjacency = {router: [] for router in routers}
+    for router in routers:
+        for iface in router.interfaces.values():
+            link = iface.link
+            if link is None:
+                continue
+            peer = link.dst_interface.node
+            if peer in member:
+                adjacency[router].append((peer, link.delay, iface))
+    return adjacency
+
+
+def install_mesh_routes(providers, owned_prefixes):
+    """Install routes among provider routers.
+
+    Parameters
+    ----------
+    providers:
+        The provider edge routers (the global routing domain).
+    owned_prefixes:
+        ``[(prefix, owner_router, local_iface_or_None)]``.  At the owner,
+        the route points out of *local_iface* (toward the attachment); at
+        every other provider it points toward the owner across the mesh.
+    """
+    adjacency = build_adjacency(providers)
+    next_hops = {router: shortest_path_next_hops(adjacency, router) for router in providers}
+    for prefix, owner, local_iface in owned_prefixes:
+        for router in providers:
+            if router is owner:
+                if local_iface is not None:
+                    router.fib.insert(FibEntry(prefix, local_iface))
+                continue
+            hop = next_hops[router].get(owner)
+            if hop is None:
+                continue
+            iface, distance = hop
+            router.fib.insert(FibEntry(prefix, iface, next_hop=owner, metric=distance))
+
+
+def path_delay(adjacency, source, destination):
+    """Total shortest-path delay between two routers (None if unreachable)."""
+    if source is destination:
+        return 0.0
+    hops = shortest_path_next_hops(adjacency, source)
+    entry = hops.get(destination)
+    return entry[1] if entry is not None else None

@@ -1,0 +1,360 @@
+"""Multi-AS topology builder.
+
+Builds the world the paper's Fig. 1 sketches: stub sites ("AS_S", "AS_D")
+multihomed to providers ("Provider A/B" for the source site, "X/Y" for the
+destination site), with the provider routers forming the "Internet" in the
+middle of the figure.
+
+Per-site wiring (all point-to-point links)::
+
+    host_0 ... host_n          (EID addresses, site-internal only)
+        \\   |   /
+          [hub]----[xtr_0]----(provider p0 edge)     xtr RLOC from p0's /8
+            |  \\---[xtr_1]----(provider p1 edge)     xtr RLOC from p1's /8
+          [pce]                (infrastructure address, globally routable)
+            |
+          [dns]                (infrastructure address, globally routable)
+
+The DNS server's **only** link goes through the PCE node, which makes the
+PCE "in the data path of the DNS servers" (paper §2, Steps 2-5) a physical
+property of the topology rather than a modelling convention.
+
+Address plan
+------------
+- Provider ``p`` owns ``(10+p).0.0.0/8`` (locator space, mirrors Fig. 1's
+  10/8-13/8 annotations).
+- Site ``s`` EID prefix: ``100.(s>>8).(s&255).0/24`` — never installed in
+  provider FIBs unless ``eids_globally_routable`` (the plain-IP baseline).
+- Site ``s`` infrastructure prefix: ``198.(18+(s>>8)).(s&255).0/24``; DNS at
+  ``.10``, PCE at ``.20``, xTR control addresses at ``.30+b``.  Routed
+  globally via the site's first provider (its "home").
+- xTR ``b`` of site ``s`` on provider ``p``: RLOC ``(10+p).(1+(s>>8)).(s&255).(b+1)``.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.fib import FibEntry
+from repro.net.host import Host
+from repro.net.link import connect
+from repro.net.router import Router
+from repro.net.routing import build_adjacency, install_mesh_routes, path_delay
+
+DEFAULT_PREFIX = IPv4Prefix("0.0.0.0/0")
+
+# Intra-site link delays (seconds). Small against WAN delays, as in a campus.
+HOST_HUB_DELAY = 0.0001
+DNS_PCE_DELAY = 0.00005
+PCE_HUB_DELAY = 0.0001
+XTR_HUB_DELAY = 0.0002
+
+
+@dataclass
+class Site:
+    """One stub domain: hosts, DNS+PCE pair, and one xTR per provider."""
+
+    index: int
+    name: str
+    eid_prefix: IPv4Prefix
+    infra_prefix: IPv4Prefix
+    hub: Router
+    dns_node: Host
+    pce_node: Router
+    hosts: list = field(default_factory=list)
+    xtrs: list = field(default_factory=list)
+    provider_ids: list = field(default_factory=list)
+    access_delays: list = field(default_factory=list)
+    #: per-xTR access links: {"uplink": xtr->provider, "downlink": provider->xtr}
+    access_links: list = field(default_factory=list)
+    #: per-xTR hub-side handles: {"hub_iface": hub's iface to this xTR}
+    hub_links: list = field(default_factory=list)
+
+    @property
+    def dns_address(self):
+        return self.infra_prefix.address_at(10)
+
+    @property
+    def pce_address(self):
+        return self.infra_prefix.address_at(20)
+
+    def xtr_control_address(self, b):
+        """Site-internal control address of xTR *b* (mapping pushes go here)."""
+        return self.infra_prefix.address_at(30 + b)
+
+    def rlocs(self):
+        """The site's routing locators, one per xTR, in xTR order."""
+        return [xtr.services["rloc"] for xtr in self.xtrs]
+
+    def rloc_of(self, b):
+        return self.xtrs[b].services["rloc"]
+
+    def xtr_for_rloc(self, rloc):
+        """The xTR owning *rloc* (None if not this site's)."""
+        rloc = IPv4Address(rloc)
+        for xtr in self.xtrs:
+            if xtr.services["rloc"] == rloc:
+                return xtr
+        return None
+
+    def host_domain_name(self, host_index):
+        """The DNS name of host *host_index* (see repro.dns zone builder)."""
+        return f"host{host_index}.{self.name}.example."
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class Topology:
+    """The built world: providers, sites, and shared infrastructure hosts."""
+
+    sim: object
+    providers: list
+    provider_prefixes: list
+    sites: list
+    infra_hosts: dict = field(default_factory=dict)
+    attachments: list = field(default_factory=list)
+    eids_globally_routable: bool = False
+
+    def all_nodes(self):
+        nodes = list(self.providers)
+        for site in self.sites:
+            nodes.append(site.hub)
+            nodes.append(site.dns_node)
+            nodes.append(site.pce_node)
+            nodes.extend(site.hosts)
+            nodes.extend(site.xtrs)
+        nodes.extend(self.infra_hosts.values())
+        return nodes
+
+    def site_of_eid(self, eid):
+        """The site whose EID prefix contains *eid* (None if none)."""
+        eid = IPv4Address(eid)
+        for site in self.sites:
+            if site.eid_prefix.contains(eid):
+                return site
+        return None
+
+    def site_of_rloc(self, rloc):
+        rloc = IPv4Address(rloc)
+        for site in self.sites:
+            if site.xtr_for_rloc(rloc) is not None:
+                return site
+        return None
+
+    def provider_mesh_delay(self, provider_a, provider_b):
+        """Shortest-path delay between two provider routers."""
+        adjacency = build_adjacency(self.providers)
+        return path_delay(adjacency, provider_a, provider_b)
+
+    def attach_infra_host(self, provider_id, name, address):
+        """Attach a shared infrastructure host (e.g. root/TLD DNS) to a provider.
+
+        The host gets a /32 visible from the whole mesh.  Must be called
+        before :meth:`install_global_routes`.
+        """
+        provider = self.providers[provider_id]
+        host = Host(self.sim, name, address=address)
+        host_iface = host.add_interface("up")
+        provider_iface = provider.add_interface(f"to-{name}")
+        connect(self.sim, provider_iface, host_iface, delay=0.0005)
+        host.fib.insert(FibEntry(DEFAULT_PREFIX, host_iface))
+        self.attachments.append((IPv4Prefix(int(IPv4Address(address)), 32),
+                                 provider, provider_iface))
+        self.infra_hosts[name] = host
+        return host
+
+    def install_global_routes(self):
+        """(Re)compute and install all provider-mesh routes."""
+        install_mesh_routes(self.providers, self.attachments)
+
+
+def eid_prefix_for(site_index):
+    return IPv4Prefix(f"100.{site_index >> 8}.{site_index & 255}.0/24")
+
+
+def infra_prefix_for(site_index):
+    return IPv4Prefix(f"198.{18 + (site_index >> 8)}.{site_index & 255}.0/24")
+
+
+def provider_prefix_for(provider_id):
+    return IPv4Prefix(f"{10 + provider_id}.0.0.0/8")
+
+
+def rloc_for(provider_id, site_index, xtr_index):
+    return IPv4Address(
+        f"{10 + provider_id}.{1 + (site_index >> 8)}.{site_index & 255}.{xtr_index + 1}"
+    )
+
+
+def build_topology(sim, num_sites=2, num_providers=4, providers_per_site=2,
+                   hosts_per_site=2, wan_delay_range=(0.010, 0.040),
+                   access_delay_range=(0.001, 0.005), eids_globally_routable=False,
+                   provider_assignment=None, rng_stream="topology"):
+    """Build providers, sites, links and intra-site routing.
+
+    ``provider_assignment``, when given, is a list of provider-id lists, one
+    per site, overriding the default rotation.  Global (provider-mesh)
+    routes are installed at the end; callers that attach additional
+    infrastructure hosts afterwards must re-run
+    :meth:`Topology.install_global_routes`.
+    """
+    if providers_per_site > num_providers:
+        raise ValueError("providers_per_site exceeds num_providers")
+    rng = sim.rng.stream(rng_stream)
+
+    # --- Provider mesh -------------------------------------------------- #
+    providers = []
+    provider_prefixes = []
+    for p in range(num_providers):
+        router = Router(sim, f"prov{p}")
+        router.add_address(provider_prefix_for(p).address_at(1))
+        providers.append(router)
+        provider_prefixes.append(provider_prefix_for(p))
+    for a in range(num_providers):
+        for b in range(a + 1, num_providers):
+            delay = rng.uniform(*wan_delay_range)
+            iface_a = providers[a].add_interface(f"to-prov{b}")
+            iface_b = providers[b].add_interface(f"to-prov{a}")
+            connect(sim, iface_a, iface_b, delay=delay)
+
+    topology = Topology(sim=sim, providers=providers, provider_prefixes=provider_prefixes,
+                        sites=[], eids_globally_routable=eids_globally_routable)
+
+    # Each provider owns its /8 block.
+    for p, router in enumerate(providers):
+        topology.attachments.append((provider_prefixes[p], router, None))
+
+    # --- Sites ---------------------------------------------------------- #
+    for s in range(num_sites):
+        assigned = provider_assignment[s] if provider_assignment is not None else None
+        site = _build_site(sim, topology, s, providers_per_site, hosts_per_site,
+                           access_delay_range, rng, assigned_providers=assigned)
+        topology.sites.append(site)
+
+    topology.install_global_routes()
+    return topology
+
+
+def _build_site(sim, topology, s, providers_per_site, hosts_per_site,
+                access_delay_range, rng, assigned_providers=None):
+    name = f"site{s}"
+    eid_prefix = eid_prefix_for(s)
+    infra_prefix = infra_prefix_for(s)
+    num_providers = len(topology.providers)
+
+    hub = Router(sim, f"{name}-hub")
+    hub.add_address(eid_prefix.address_at(1))
+    dns_node = Host(sim, f"{name}-dns", address=infra_prefix.address_at(10))
+    pce_node = Router(sim, f"{name}-pce")
+    pce_node.add_address(infra_prefix.address_at(20))
+
+    site = Site(index=s, name=name, eid_prefix=eid_prefix, infra_prefix=infra_prefix,
+                hub=hub, dns_node=dns_node, pce_node=pce_node)
+
+    if assigned_providers is not None:
+        chosen = list(assigned_providers)
+    else:
+        # Deterministic but varied provider assignment: rotate through the
+        # mesh.  When gcd(stride, num_providers) > 1 the rotation only visits
+        # a subgroup, so complete the candidate order with the remaining
+        # providers instead of cycling forever.
+        first = s % num_providers
+        stride = 1 + (s // num_providers) % max(1, num_providers - 1)
+        order = []
+        p = first
+        for _ in range(num_providers):
+            if p not in order:
+                order.append(p)
+            p = (p + stride) % num_providers
+        for p in range(num_providers):
+            if p not in order:
+                order.append(p)
+        chosen = order[:providers_per_site]
+    site.provider_ids = chosen
+
+    # Hosts on the hub.
+    for i in range(hosts_per_site):
+        host = Host(sim, f"{name}-host{i}", address=eid_prefix.address_at(10 + i))
+        host_iface = host.add_interface("up")
+        hub_iface = hub.add_interface(f"to-host{i}")
+        connect(sim, hub_iface, host_iface, delay=HOST_HUB_DELAY)
+        host.fib.insert(FibEntry(DEFAULT_PREFIX, host_iface))
+        hub.fib.insert(FibEntry(IPv4Prefix(int(host.address), 32), hub_iface))
+        site.hosts.append(host)
+
+    # DNS behind PCE: dns -- pce -- hub.
+    dns_iface = dns_node.add_interface("up")
+    pce_dns_iface = pce_node.add_interface("to-dns")
+    connect(sim, pce_dns_iface, dns_iface, delay=DNS_PCE_DELAY)
+    dns_node.fib.insert(FibEntry(DEFAULT_PREFIX, dns_iface))
+
+    pce_hub_iface = pce_node.add_interface("to-hub")
+    hub_pce_iface = hub.add_interface("to-pce")
+    connect(sim, hub_pce_iface, pce_hub_iface, delay=PCE_HUB_DELAY)
+    pce_node.fib.insert(FibEntry(IPv4Prefix(int(site.dns_address), 32), pce_dns_iface))
+    pce_node.fib.insert(FibEntry(DEFAULT_PREFIX, pce_hub_iface))
+    hub.fib.insert(FibEntry(IPv4Prefix(int(site.dns_address), 32), hub_pce_iface))
+    hub.fib.insert(FibEntry(IPv4Prefix(int(site.pce_address), 32), hub_pce_iface))
+
+    # xTRs: one per provider.
+    for b, p in enumerate(site.provider_ids):
+        xtr = Router(sim, f"{name}-xtr{b}")
+        rloc = rloc_for(p, s, b)
+        xtr.add_address(rloc)
+        xtr.add_address(site.xtr_control_address(b))
+        xtr.register_service("rloc", rloc)
+        xtr.register_service("site", site)
+        xtr.register_service("provider_id", p)
+
+        xtr_hub_iface = xtr.add_interface("to-hub")
+        hub_xtr_iface = hub.add_interface(f"to-xtr{b}")
+        connect(sim, hub_xtr_iface, xtr_hub_iface, delay=XTR_HUB_DELAY)
+
+        provider = topology.providers[p]
+        access_delay = rng.uniform(*access_delay_range)
+        xtr_up_iface = xtr.add_interface("up", address=rloc)
+        provider_iface = provider.add_interface(f"to-{name}-xtr{b}")
+        downlink, uplink = connect(sim, provider_iface, xtr_up_iface, delay=access_delay)
+        site.access_links.append({"uplink": uplink, "downlink": downlink})
+        site.hub_links.append({"hub_iface": hub_xtr_iface})
+
+        # xTR routing: site prefixes inward, everything else to the provider.
+        xtr.fib.insert(FibEntry(site.eid_prefix, xtr_hub_iface))
+        xtr.fib.insert(FibEntry(site.infra_prefix, xtr_hub_iface))
+        xtr.fib.insert(FibEntry(DEFAULT_PREFIX, xtr_up_iface))
+
+        # Hub can reach each xTR's control address.
+        hub.fib.insert(FibEntry(IPv4Prefix(int(site.xtr_control_address(b)), 32),
+                                hub_xtr_iface))
+        # Provider can deliver to the xTR's RLOC.
+        topology.attachments.append((IPv4Prefix(int(rloc), 32), provider, provider_iface))
+
+        site.xtrs.append(xtr)
+        site.access_delays.append(access_delay)
+
+        if b == 0:
+            # Home attachment: the site's infrastructure prefix (and its EID
+            # prefix, in plain-IP mode) is reachable via xtr0.
+            topology.attachments.append((site.infra_prefix, provider, provider_iface))
+            if topology.eids_globally_routable:
+                topology.attachments.append((site.eid_prefix, provider, provider_iface))
+
+    # Hub default: out via xtr0 (TE may override per destination later).
+    hub.fib.insert(FibEntry(DEFAULT_PREFIX, hub.interfaces["to-xtr0"]))
+    return site
+
+
+def build_fig1_topology(sim, **overrides):
+    """The exact Fig. 1 scenario: two sites, two providers each.
+
+    Site 0 ("AS_S") homes to providers A(10/8) and B(11/8); site 1 ("AS_D")
+    homes to providers X(12/8) and Y(13/8).
+    """
+    params = dict(num_sites=2, num_providers=4, providers_per_site=2,
+                  hosts_per_site=2, provider_assignment=[[0, 1], [2, 3]])
+    params.update(overrides)
+    topology = build_topology(sim, **params)
+    topology.site_s = topology.sites[0]
+    topology.site_d = topology.sites[1]
+    return topology

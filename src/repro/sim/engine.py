@@ -1,0 +1,114 @@
+"""The simulation engine: a deterministic time-ordered event queue."""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import EmptySchedule
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+#: Priority used for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority used for bookkeeping that must run before normal events at a time.
+PRIORITY_URGENT = 0
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Events scheduled for the same time are processed in (priority, insertion
+    order), so behaviour is fully reproducible for a given seed.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for :class:`~repro.sim.rng.RandomStreams`.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self.rng = RandomStreams(seed)
+        self.trace = Tracer()
+        self._queue = []
+        self._sequence = count()
+        self._processed_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Event construction helpers
+    # ------------------------------------------------------------------ #
+
+    def event(self, name=None):
+        """A fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None, name=None):
+        """An event firing *delay* time units from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator, name=None):
+        """Start *generator* as a :class:`Process` (begins at the current time)."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        """Event firing when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        """Event firing when all of *events* have fired."""
+        return AllOf(self, events)
+
+    def call_in(self, delay, callback, *args):
+        """Run ``callback(*args)`` after *delay* time units."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _event: callback(*args))
+        return event
+
+    def call_at(self, when, callback, *args):
+        """Run ``callback(*args)`` at absolute time *when* (>= now)."""
+        if when < self.now:
+            raise ValueError(f"call_at({when}) is in the past (now={self.now})")
+        return self.call_in(when - self.now, callback, *args)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling and the main loop
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
+        heapq.heappush(self._queue, (self.now + delay, priority, next(self._sequence), event))
+
+    def peek(self):
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self):
+        """Process exactly one event; raises :class:`EmptySchedule` if none."""
+        if not self._queue:
+            raise EmptySchedule("no events scheduled")
+        when, _priority, _sequence, event = heapq.heappop(self._queue)
+        self.now = when
+        self._processed_events += 1
+        event._run_callbacks()
+
+    def run(self, until=None):
+        """Run until the queue drains, or simulated time exceeds *until*.
+
+        When *until* is given, the clock is left exactly at *until* even if
+        the next event lies beyond it.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return self.now
+        if until < self.now:
+            raise ValueError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self.now = until
+        return self.now
+
+    @property
+    def processed_events(self):
+        """Number of events processed so far (diagnostic)."""
+        return self._processed_events

@@ -1,0 +1,25 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it early.
+
+    The value passed becomes the process' result, mirroring a plain
+    ``return`` from the generator.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed twice."""
+
+
+class EmptySchedule(SimulationError):
+    """``run(until=...)`` was asked to advance but no events remain."""

@@ -1,0 +1,172 @@
+"""Events: the unit of coordination between simulated processes.
+
+An :class:`Event` is a one-shot synchronisation point.  It starts *pending*,
+is *triggered* exactly once (either :meth:`Event.succeed` or
+:meth:`Event.fail`), and is then *processed* by the simulator, which runs all
+registered callbacks at the event's scheduled time.
+
+Processes (see :mod:`repro.sim.process`) yield events; the kernel resumes the
+process when the event fires, sending the event's value into the generator
+(or throwing the failure exception).
+"""
+
+from repro.sim.errors import EventAlreadyTriggered
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    name:
+        Optional label used in traces and ``repr``.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
+
+    def __repr__(self):
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.6f}>"
+
+    @property
+    def triggered(self):
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self):
+        """True once the simulator has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self):
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self):
+        """The success value, or the failure exception if the event failed."""
+        if self._exception is not None:
+            return self._exception
+        return self._value
+
+    @property
+    def exception(self):
+        """The failure exception, or ``None`` if the event succeeded."""
+        return self._exception
+
+    def succeed(self, value=None, delay=0.0):
+        """Trigger the event successfully, scheduling callbacks after *delay*."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception, delay=0.0):
+        """Trigger the event as failed with *exception*."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self):
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay, carrying an optional value."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay, value=None, name=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"Timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim, events, name=None):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._child_fired(event)
+            else:
+                event.callbacks.append(self._child_fired)
+
+    def _collect(self):
+        return {event: event.value for event in self.events if event.processed and event.ok}
+
+    def _child_fired(self, event):
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires.
+
+    The value is a dict mapping the already-processed successful children to
+    their values.  A failing child fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _child_fired(self, event):
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once every child event has fired.
+
+    The value is a dict mapping each child to its value.  The first failing
+    child fails the condition immediately.
+    """
+
+    __slots__ = ()
+
+    def _child_fired(self, event):
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())

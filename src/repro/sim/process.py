@@ -1,0 +1,114 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the event fires; the event's
+value is sent back into the generator (or its exception thrown).  A process
+is itself an event that fires with the generator's return value, so processes
+can wait on each other::
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    def supervisor(sim):
+        result = yield sim.process(worker(sim))
+        assert result == "done"
+"""
+
+from repro.sim.errors import SimulationError, StopProcess
+from repro.sim.events import Event
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """An event representing the lifetime of a running generator."""
+
+    __slots__ = ("generator", "_target", "_label")
+
+    def __init__(self, sim, generator, name=None):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target = None
+        self._label = self.name
+        # Bootstrap: resume once at the current time.
+        bootstrap = Event(sim, name=f"{self._label}:start")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self._label}")
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+            self._target = None
+        poke = Event(self.sim, name=f"{self._label}:interrupt")
+        poke.callbacks.append(lambda _event: self._step(throw=Interrupt(cause)))
+        poke.succeed()
+
+    def _resume(self, event):
+        self._target = None
+        if not event.ok:
+            self._step(throw=event.exception)
+        else:
+            self._step(value=event.value)
+
+    def _step(self, value=None, throw=None):
+        if self._triggered:
+            return
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self.generator.close()
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # Uncaught interrupt terminates the process with its cause.
+            self.generator.close()
+            self.succeed(interrupt.cause)
+            return
+        except Exception as exc:
+            # Any other uncaught exception fails the process; waiters get the
+            # exception thrown into them, mirroring how awaiting a failed
+            # coroutine behaves.
+            self.sim.trace.record(self.sim.now, self._label, "process.failed",
+                                  error=repr(exc))
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.generator.close()
+            self.fail(SimulationError(f"process {self._label} yielded non-event {target!r}"))
+            return
+        if target.sim is not self.sim:
+            self.generator.close()
+            self.fail(SimulationError(f"process {self._label} yielded foreign event {target!r}"))
+            return
+        self._target = target
+        if target.processed:
+            # Already fired: resume immediately via a zero-delay event to
+            # preserve run-to-completion semantics.
+            poke = Event(self.sim, name=f"{self._label}:poke")
+            poke.callbacks.append(lambda _event: self._resume(target))
+            poke.succeed()
+        else:
+            target.callbacks.append(self._resume)

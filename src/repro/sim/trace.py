@@ -1,0 +1,80 @@
+"""Structured event tracing.
+
+The tracer records ``(time, source, kind, detail)`` tuples.  Experiments use
+it both to verify protocol behaviour (e.g. the Fig. 1 step ordering) and to
+derive metrics that are awkward to maintain as counters.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single traced occurrence."""
+
+    time: float
+    source: str
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self):
+        details = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        return f"[{self.time:12.6f}] {self.source:<24} {self.kind:<28} {details}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, with optional category filters.
+
+    By default everything is recorded.  Call :meth:`enable_only` to restrict
+    recording to a set of ``kind`` prefixes (cheap substring-free check).
+    """
+
+    def __init__(self):
+        self.records = []
+        self._enabled_prefixes = None
+        self._subscribers = []
+
+    def enable_only(self, *prefixes):
+        """Record only kinds starting with one of *prefixes* (None = all)."""
+        self._enabled_prefixes = tuple(prefixes) if prefixes else None
+
+    def subscribe(self, callback):
+        """Invoke *callback(record)* for every record as it is emitted."""
+        self._subscribers.append(callback)
+
+    def record(self, time, source, kind, **detail):
+        """Record an occurrence; returns the record (or None if filtered)."""
+        if self._enabled_prefixes is not None and not kind.startswith(self._enabled_prefixes):
+            return None
+        entry = TraceRecord(time=time, source=str(source), kind=kind, detail=detail)
+        self.records.append(entry)
+        for callback in self._subscribers:
+            callback(entry)
+        return entry
+
+    def of_kind(self, *kinds):
+        """All records whose kind matches any of *kinds* exactly."""
+        wanted = set(kinds)
+        return [record for record in self.records if record.kind in wanted]
+
+    def with_prefix(self, prefix):
+        """All records whose kind starts with *prefix*."""
+        return [record for record in self.records if record.kind.startswith(prefix)]
+
+    def between(self, start, end):
+        """All records with start <= time <= end."""
+        return [record for record in self.records if start <= record.time <= end]
+
+    def clear(self):
+        self.records.clear()
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def dump(self, limit=None):
+        """Human-readable multi-line rendering (for examples and debugging)."""
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(record) for record in rows)

@@ -1,0 +1,6 @@
+"""Synthetic workloads: flow models, arrival processes, destination popularity."""
+
+from repro.traffic.flows import FlowRecord, TcpStack, UdpSink
+from repro.traffic.popularity import ZipfSampler
+
+__all__ = ["FlowRecord", "TcpStack", "UdpSink", "ZipfSampler"]

@@ -1,0 +1,156 @@
+"""Flow-level traffic machinery: a minimal TCP model and UDP sinks.
+
+The TCP model covers exactly what the paper's latency formulas need: the
+three-way handshake (SYN, SYN+ACK, ACK), with retransmission of lost SYNs
+after a retransmission timeout.  A SYN lost at an ITR during mapping
+resolution therefore costs a full RTO — the mechanism behind the paper's
+connection-setup comparison (§1).
+"""
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.net.addresses import IPv4Address
+from repro.net.packet import PROTO_TCP, TCP_ACK, TCP_SYN, tcp_packet, udp_packet
+
+#: Classic initial TCP retransmission timeout (RFC 1122 era: 1 second was
+#: common in 2008-vintage stacks; RFC 6298 later said 1 s as well).
+DEFAULT_RTO = 1.0
+
+_flow_ids = count(1)
+
+
+@dataclass
+class FlowRecord:
+    """Everything measured about one application flow."""
+
+    flow_id: int
+    source: IPv4Address = None
+    destination: IPv4Address = None
+    qname: str = None
+    started_at: float = 0.0
+    dns_done_at: float = None
+    dns_elapsed: float = None
+    established_at: float = None
+    setup_elapsed: float = None
+    syn_retransmissions: int = 0
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    first_packet_fates: list = field(default_factory=list)
+    failed: bool = False
+
+    @property
+    def packets_lost(self):
+        return self.packets_sent - self.packets_delivered
+
+
+class TcpStack:
+    """Per-host TCP service: listeners answer SYNs, clients track connects."""
+
+    def __init__(self, sim, host):
+        self.sim = sim
+        self.host = host
+        self._listeners = {}
+        self._pending = {}
+        self.segments_received = 0
+        self.data_bytes_received = 0
+        host.register_protocol(PROTO_TCP, self._on_segment)
+        host.register_service("tcp", self)
+
+    def listen(self, port):
+        """Accept connections on *port* (responder role)."""
+        self._listeners[port] = True
+
+    def _on_segment(self, packet, _node):
+        header = packet.tcp
+        if header is None:
+            return
+        self.segments_received += 1
+        if header.is_syn and header.dport in self._listeners:
+            reply = tcp_packet(packet.ip.dst, packet.ip.src, header.dport, header.sport,
+                               flags=TCP_SYN | TCP_ACK, seq=0, ack=header.seq + 1)
+            self.host.send(reply)
+            return
+        if header.is_synack:
+            waiter = self._pending.get(header.dport)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(packet)
+            return
+        # Anything else is data (or a bare ACK); count its payload.
+        self.data_bytes_received += packet.size_bytes
+
+    def connect(self, destination, dport, rto=DEFAULT_RTO, max_retries=5):
+        """Process: three-way handshake; returns (elapsed, syn_retries) or None."""
+        sim = self.sim
+        sport = self.host.ephemeral_port()
+
+        def _connect():
+            started = sim.now
+            for attempt in range(max_retries + 1):
+                syn = tcp_packet(self.host.address, destination, sport, dport,
+                                 flags=TCP_SYN, seq=attempt)
+                waiter = sim.event(name=f"tcp-connect-{sport}")
+                self._pending[sport] = waiter
+                self.host.send(syn)
+                deadline = sim.timeout(rto * (2 ** attempt))
+                outcome = yield sim.any_of([waiter, deadline])
+                if waiter in outcome:
+                    self._pending.pop(sport, None)
+                    ack = tcp_packet(self.host.address, destination, sport, dport,
+                                     flags=TCP_ACK, seq=attempt + 1, ack=1)
+                    self.host.send(ack)
+                    return sim.now - started, attempt
+                self._pending.pop(sport, None)
+            return None
+
+        return sim.process(_connect(), name=f"{self.host.name}-connect")
+
+
+class UdpSink:
+    """Counts datagrams per flow id on one UDP port."""
+
+    def __init__(self, sim, host, port):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.received = 0
+        self.bytes = 0
+        self.by_flow = {}
+        self.arrival_times = []
+        host.bind_udp(port, self._on_datagram)
+
+    def _on_datagram(self, packet, _node):
+        self.received += 1
+        self.bytes += packet.size_bytes
+        self.arrival_times.append(self.sim.now)
+        flow_id = packet.meta.get("flow_id")
+        if flow_id is not None:
+            self.by_flow[flow_id] = self.by_flow.get(flow_id, 0) + 1
+
+
+def send_udp_burst(sim, host, destination, port, record, count_packets=5,
+                   payload_bytes=1000, spacing=0.001):
+    """Process: emit a spaced burst of UDP datagrams, annotating fates.
+
+    The first packet's fate list ends up in ``record.first_packet_fates`` so
+    experiment E1 can classify it (dropped / queued / carried over CP /
+    encapsulated immediately).
+    """
+
+    def _burst():
+        for index in range(count_packets):
+            meta = {"flow_id": record.flow_id, "index": index}
+            packet = udp_packet(host.address, destination, 5000, port,
+                                payload_bytes=payload_bytes, meta=meta)
+            if index == 0:
+                packet.meta["fates"] = record.first_packet_fates
+            record.packets_sent += 1
+            host.send(packet)
+            if index < count_packets - 1:
+                yield sim.timeout(spacing)
+
+    return sim.process(_burst(), name=f"{host.name}-burst-{record.flow_id}")
+
+
+def next_flow_id():
+    return next(_flow_ids)

@@ -1,0 +1,44 @@
+"""Destination popularity models."""
+
+import bisect
+
+
+class ZipfSampler:
+    """Zipf(s) sampler over ``n`` items (rank 1 most popular).
+
+    The paper's weaknesses show up under realistic skew: popular
+    destinations keep caches warm while the tail always misses.
+    """
+
+    def __init__(self, n, s=1.0, rng=None):
+        if n < 1:
+            raise ValueError("ZipfSampler needs n >= 1")
+        if s < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        self.n = n
+        self.s = s
+        self._rng = rng
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    def probability(self, rank):
+        """P(item at *rank*), rank counted from 0."""
+        if rank == 0:
+            return self._cumulative[0]
+        return self._cumulative[rank] - self._cumulative[rank - 1]
+
+    def sample(self, rng=None):
+        """Draw an item index in [0, n)."""
+        generator = rng or self._rng
+        if generator is None:
+            raise ValueError("no RNG supplied")
+        return bisect.bisect_left(self._cumulative, generator.random())
+
+    def sample_many(self, count, rng=None):
+        return [self.sample(rng) for _ in range(count)]

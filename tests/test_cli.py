@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "fig1" in capsys.readouterr().out
+
+
+def test_run_fig1(capsys):
+    assert main(["run", "fig1", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "step" in out
+    assert "[ok]" in out
+    assert "FAILED" not in out
+
+
+def test_run_e6_small(capsys):
+    assert main(["run", "e6", "--flows", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "pce-precomputed" in out
+    assert "shape check: ok" in out
+
+
+def test_run_e8(capsys):
+    assert main(["run", "e8"]) == 0
+    out = capsys.readouterr().out
+    assert "pce-reverse-multicast" in out
+
+
+def test_report_writes_file(tmp_path):
+    out = tmp_path / "report.md"
+    assert main(["report", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "## F1" in text and "## E9" in text
+    assert "FAILURES" not in text
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nonsense"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run", "e1"])
+    assert args.seed == 11
+    assert args.num_sites == 8
+    assert args.flows == 30

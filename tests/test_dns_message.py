@@ -1,0 +1,166 @@
+"""Tests for DNS records, wire format, and zones."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.message import (
+    FLAG_AA,
+    FLAG_QR,
+    FLAG_RD,
+    DnsMessage,
+    DnsWireError,
+    Question,
+    decode_name,
+    encode_name,
+    make_query,
+    make_reply,
+)
+from repro.dns.records import (
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    TYPE_A,
+    TYPE_NS,
+    ResourceRecord,
+    is_subdomain,
+    normalise_name,
+)
+from repro.dns.zone import Zone
+from repro.net.addresses import IPv4Address
+
+
+def test_normalise_name():
+    assert normalise_name("Host0.Example") == "host0.example."
+    assert normalise_name("a.b.c.") == "a.b.c."
+
+
+def test_is_subdomain():
+    assert is_subdomain("host0.site1.example.", "site1.example.")
+    assert is_subdomain("site1.example.", "site1.example.")
+    assert not is_subdomain("site2.example.", "site1.example.")
+    assert not is_subdomain("evilsite1.example.", "site1.example.")
+    assert is_subdomain("anything.at.all.", ".")
+
+
+def test_a_record_coerces_address():
+    record = ResourceRecord("h.example.", TYPE_A, 60, "10.0.0.1")
+    assert record.data == IPv4Address("10.0.0.1")
+
+
+def test_name_encoding_roundtrip():
+    for name in (".", "example.", "host0.site3.example.", "a.b.c.d.e.f."):
+        encoded = encode_name(name)
+        decoded, offset = decode_name(encoded, 0)
+        assert decoded == name
+        assert offset == len(encoded)
+
+
+def test_label_too_long_rejected():
+    with pytest.raises(DnsWireError):
+        encode_name("x" * 64 + ".example.")
+
+
+def test_query_roundtrip():
+    query = make_query(1234, "host0.site1.example.", recursion_desired=True)
+    decoded = DnsMessage.decode(query.encode())
+    assert decoded.ident == 1234
+    assert decoded.is_query
+    assert decoded.flags & FLAG_RD
+    assert decoded.qname == "host0.site1.example."
+
+
+def test_reply_roundtrip_with_all_sections():
+    query = make_query(7, "host0.site1.example.")
+    reply = make_reply(
+        query,
+        answers=[ResourceRecord("host0.site1.example.", TYPE_A, 60, "100.0.1.10")],
+        authorities=[ResourceRecord("site1.example.", TYPE_NS, 3600, "ns.site1.example.")],
+        additionals=[ResourceRecord("ns.site1.example.", TYPE_A, 3600, "198.18.1.10")],
+        authoritative=True,
+    )
+    decoded = DnsMessage.decode(reply.encode())
+    assert decoded.is_reply
+    assert decoded.flags & FLAG_AA
+    assert decoded.ident == 7
+    assert decoded.answer_addresses() == [IPv4Address("100.0.1.10")]
+    assert decoded.referral_servers() == [("ns.site1.example.", IPv4Address("198.18.1.10"))]
+
+
+def test_rcode_roundtrip():
+    query = make_query(9, "nope.example.")
+    reply = make_reply(query, rcode=RCODE_NXDOMAIN)
+    assert DnsMessage.decode(reply.encode()).rcode == RCODE_NXDOMAIN
+
+
+def test_truncated_data_raises():
+    query = make_query(5, "x.example.")
+    data = query.encode()
+    with pytest.raises(DnsWireError):
+        DnsMessage.decode(data[:8])
+    with pytest.raises(DnsWireError):
+        DnsMessage.decode(data[:-3])
+
+
+def test_size_bytes_matches_encoding():
+    query = make_query(1, "host.example.")
+    assert query.size_bytes == len(query.encode())
+
+
+names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=10),
+    min_size=1, max_size=5,
+).map(lambda labels: ".".join(labels) + ".")
+
+
+@given(st.integers(min_value=0, max_value=65535), names,
+       st.integers(min_value=0, max_value=(1 << 32) - 1),
+       st.integers(min_value=0, max_value=86400))
+def test_message_roundtrip_property(ident, name, address, ttl):
+    query = make_query(ident, name)
+    reply = make_reply(query, answers=[ResourceRecord(name, TYPE_A, ttl, address)],
+                       authoritative=True)
+    decoded = DnsMessage.decode(reply.encode())
+    assert decoded.ident == ident
+    assert decoded.qname == name
+    assert decoded.answers[0].data == IPv4Address(address)
+    assert int(decoded.answers[0].ttl) == ttl
+
+
+def test_zone_answers_own_records():
+    zone = Zone("site1.example.")
+    zone.add_a("host0.site1.example.", "100.0.1.10")
+    result = zone.lookup("host0.site1.example.")
+    assert result.rcode == RCODE_NOERROR
+    assert result.answers[0].data == IPv4Address("100.0.1.10")
+    assert not result.is_referral
+
+
+def test_zone_referral():
+    zone = Zone("example.")
+    zone.delegate("site1.example.", "ns.site1.example.", "198.18.1.10")
+    result = zone.lookup("host0.site1.example.")
+    assert result.is_referral
+    assert result.authorities[0].rtype == TYPE_NS
+    assert result.additionals[0].data == IPv4Address("198.18.1.10")
+
+
+def test_zone_most_specific_delegation():
+    zone = Zone("example.")
+    zone.delegate("corp.example.", "ns.corp.example.", "192.0.2.1")
+    zone.delegate("deep.corp.example.", "ns.deep.corp.example.", "192.0.2.2")
+    result = zone.lookup("www.deep.corp.example.")
+    assert result.additionals[0].data == IPv4Address("192.0.2.2")
+
+
+def test_zone_nxdomain():
+    zone = Zone("site1.example.")
+    zone.add_a("host0.site1.example.", "100.0.1.10")
+    assert zone.lookup("missing.site1.example.").rcode == RCODE_NXDOMAIN
+    assert zone.lookup("other.domain.").rcode == RCODE_NXDOMAIN
+
+
+def test_root_zone_covers_everything():
+    zone = Zone(".")
+    zone.delegate("example.", "a.gtld.", "192.5.6.30")
+    result = zone.lookup("host.site.example.")
+    assert result.is_referral

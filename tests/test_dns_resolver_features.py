@@ -1,0 +1,105 @@
+"""Tests for resolver query coalescing and negative caching."""
+
+import pytest
+
+from repro.dns.hierarchy import install_dns
+from repro.dns.resolver import StubResolver
+from repro.net.topology import build_topology
+from repro.sim import Simulator
+
+
+def make_world(seed=91, use_cache=True, **dns_kwargs):
+    sim = Simulator(seed=seed)
+    topology = build_topology(sim, num_sites=3, num_providers=4)
+    dns = install_dns(topology, use_cache=use_cache, **dns_kwargs)
+    return sim, topology, dns
+
+
+def test_concurrent_identical_queries_coalesce():
+    sim, topology, dns = make_world()
+    site = topology.sites[0]
+    qname = dns.host_name(topology.sites[1], 0)
+    stubs = [StubResolver(sim, host, site.dns_address) for host in site.hosts]
+    procs = [stub.lookup(qname) for stub in stubs]
+    sim.run()
+    resolver = dns.resolvers[site.index]
+    # Both clients got the answer...
+    for proc in procs:
+        address, _elapsed = proc.value
+        assert address == topology.sites[1].hosts[0].address
+    # ...from a single iterative walk.
+    assert resolver.coalesced_queries == 1
+    assert resolver.upstream_queries == 3  # root, TLD, authoritative — once
+
+
+def test_different_names_not_coalesced():
+    sim, topology, dns = make_world()
+    site = topology.sites[0]
+    stub = StubResolver(sim, site.hosts[0], site.dns_address)
+    procs = [stub.lookup(dns.host_name(topology.sites[1], 0)),
+             stub.lookup(dns.host_name(topology.sites[2], 0))]
+    sim.run()
+    resolver = dns.resolvers[site.index]
+    assert resolver.coalesced_queries == 0
+    for proc in procs:
+        assert proc.value[0] is not None
+
+
+def test_coalescing_disabled():
+    sim, topology, dns = make_world()
+    site = topology.sites[0]
+    resolver = dns.resolvers[site.index]
+    resolver.coalesce = False
+    qname = dns.host_name(topology.sites[1], 0)
+    stubs = [StubResolver(sim, host, site.dns_address) for host in site.hosts]
+    for stub in stubs:
+        stub.lookup(qname)
+    sim.run()
+    assert resolver.coalesced_queries == 0
+    assert resolver.upstream_queries == 6  # two full walks
+
+
+def test_nxdomain_negatively_cached():
+    sim, topology, dns = make_world()
+    site = topology.sites[0]
+    stub = StubResolver(sim, site.hosts[0], site.dns_address)
+    missing = f"nosuch.{dns.site_domain(topology.sites[1])}"
+    first = stub.lookup(missing)
+    sim.run()
+    assert first.value[0] is None
+    resolver = dns.resolvers[site.index]
+    upstream = resolver.upstream_queries
+    second = stub.lookup(missing)
+    sim.run()
+    assert second.value[0] is None
+    assert resolver.upstream_queries == upstream  # served from negative cache
+
+
+def test_negative_cache_expires():
+    sim, topology, dns = make_world()
+    site = topology.sites[0]
+    resolver = dns.resolvers[site.index]
+    resolver.negative_ttl = 1.0
+    stub = StubResolver(sim, site.hosts[0], site.dns_address)
+    missing = f"nosuch.{dns.site_domain(topology.sites[1])}"
+    stub.lookup(missing)
+    sim.run()
+    upstream = resolver.upstream_queries
+    sim.run(until=sim.now + 5.0)
+    stub.lookup(missing)
+    sim.run()
+    assert resolver.upstream_queries > upstream  # re-walked after expiry
+
+
+def test_negative_caching_requires_cache_enabled():
+    sim, topology, dns = make_world(use_cache=False)
+    site = topology.sites[0]
+    stub = StubResolver(sim, site.hosts[0], site.dns_address)
+    missing = f"nosuch.{dns.site_domain(topology.sites[1])}"
+    stub.lookup(missing)
+    sim.run()
+    resolver = dns.resolvers[site.index]
+    upstream = resolver.upstream_queries
+    stub.lookup(missing)
+    sim.run()
+    assert resolver.upstream_queries == 2 * upstream

@@ -1,0 +1,131 @@
+"""Tests for RLOC probing, failover and recovery."""
+
+import pytest
+
+from repro.experiments.scenario import FLOW_UDP_PORT, ScenarioConfig, build_scenario
+from repro.lisp.mappings import MappingRecord, RlocEntry
+from repro.lisp.probing import RlocProber
+from repro.net.addresses import IPv4Address
+from repro.net.packet import udp_packet
+
+
+def make_world(enable_probing=True, probe_period=0.2, seed=19):
+    config = ScenarioConfig(control_plane="pce", fig1=True, seed=seed,
+                            irc_policy="primary", enable_probing=enable_probing,
+                            probe_period=probe_period)
+    return build_scenario(config)
+
+
+def start_flow(scenario):
+    sim = scenario.sim
+    site_s, site_d = scenario.topology.sites
+    source = site_s.hosts[0]
+    stub = scenario.stub_for(source, site_s)
+
+    def flow():
+        address, _ = yield stub.lookup(scenario.host_name(site_d, 0))
+        source.send(udp_packet(source.address, address, 5000, FLOW_UDP_PORT))
+
+    sim.process(flow())
+    sim.run(until=2.0)
+    return site_s, site_d, source
+
+
+def test_with_preferred_rloc_promotes_and_keeps_backups():
+    record = MappingRecord("100.0.1.0/24",
+                           (RlocEntry("10.1.1.1", 1, 50), RlocEntry("11.1.1.1", 2, 50)))
+    promoted = record.with_preferred_rloc("11.1.1.1")
+    assert len(promoted.rlocs) == 2
+    assert promoted.best_rloc().address == IPv4Address("11.1.1.1")
+    with pytest.raises(ValueError):
+        record.with_preferred_rloc("12.0.0.1")
+
+
+def test_best_rloc_respects_liveness_predicate():
+    record = MappingRecord("100.0.1.0/24",
+                           (RlocEntry("10.1.1.1", 0, 50), RlocEntry("11.1.1.1", 1, 50)))
+    down = {IPv4Address("10.1.1.1")}
+    best = record.best_rloc(liveness=lambda address: address not in down)
+    assert best.address == IPv4Address("11.1.1.1")
+    down.add(IPv4Address("11.1.1.1"))
+    assert record.best_rloc(liveness=lambda address: address not in down) is None
+
+
+def test_probes_flow_and_all_rlocs_stay_up():
+    scenario = make_world()
+    start_flow(scenario)
+    scenario.sim.run(until=4.0)
+    site_s = scenario.topology.sites[0]
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    assert prober.probes_sent > 0
+    assert prober.replies_received > 0
+    assert prober.down == set()
+
+
+def test_pushed_mapping_includes_backups_when_probing():
+    scenario = make_world(enable_probing=True)
+    site_s, site_d, _source = start_flow(scenario)
+    itr = scenario.control_plane.xtrs_by_site[site_s.index][0]
+    mapping = itr.map_cache.peek(site_d.hosts[0].address)
+    assert len(mapping.rlocs) == len(site_d.xtrs)
+
+
+def test_pushed_mapping_single_rloc_without_probing():
+    scenario = make_world(enable_probing=False)
+    site_s, site_d, _source = start_flow(scenario)
+    itr = scenario.control_plane.xtrs_by_site[site_s.index][0]
+    mapping = itr.map_cache.peek(site_d.hosts[0].address)
+    assert len(mapping.rlocs) == 1
+
+
+def test_failure_detected_and_failover_to_backup():
+    scenario = make_world(probe_period=0.2)
+    sim = scenario.sim
+    site_s, site_d, source = start_flow(scenario)
+    # The flow went to the preferred locator (xtr0).  Kill its access link.
+    links = site_d.access_links[0]
+    links["uplink"].up = False
+    links["downlink"].up = False
+    sim.run(until=sim.now + 3.0)
+    itr = scenario.control_plane.xtrs_by_site[site_s.index][0]
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    assert site_d.rloc_of(0) in prober.down
+    # New packet now rides the backup locator and still arrives.
+    sink = scenario.sink_for(site_d.index, 0)
+    received_before = sink.received
+    decap_before = site_d.xtrs[1].services["xtr-service"].decapsulated
+    source.send(udp_packet(source.address, site_d.hosts[0].address, 5000,
+                           FLOW_UDP_PORT))
+    sim.run(until=sim.now + 2.0)
+    assert sink.received == received_before + 1
+    assert site_d.xtrs[1].services["xtr-service"].decapsulated == decap_before + 1
+
+
+def test_recovery_detected_after_repair():
+    scenario = make_world(probe_period=0.2)
+    sim = scenario.sim
+    site_s, site_d, _source = start_flow(scenario)
+    links = site_d.access_links[0]
+    links["uplink"].up = False
+    links["downlink"].up = False
+    sim.run(until=sim.now + 3.0)
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    assert site_d.rloc_of(0) in prober.down
+    links["uplink"].up = True
+    links["downlink"].up = True
+    sim.run(until=sim.now + 3.0)
+    assert site_d.rloc_of(0) not in prober.down
+    kinds = [kind for _t, _r, kind in prober.transitions]
+    assert kinds == ["down", "up"]
+
+
+def test_prober_keeps_probing_down_rlocs():
+    scenario = make_world(probe_period=0.2)
+    sim = scenario.sim
+    site_s, site_d, _source = start_flow(scenario)
+    links = site_d.access_links[0]
+    links["uplink"].up = False
+    links["downlink"].up = False
+    sim.run(until=sim.now + 2.0)
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    assert site_d.rloc_of(0) in prober.targets()

@@ -1,0 +1,229 @@
+"""Integration tests: xTR forwarding over the topology with miss policies."""
+
+import pytest
+
+from repro.lisp import EID_SPACE
+from repro.lisp.control.base import MappingSystem
+from repro.lisp.deploy import deploy_lisp
+from repro.lisp.mappings import site_mapping
+from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
+from repro.net.addresses import IPv4Address
+from repro.net.packet import udp_packet
+from repro.net.topology import build_topology
+from repro.sim import Simulator
+
+
+class InstantMappingSystem(MappingSystem):
+    """Resolves from the registry after a fixed delay (for testing)."""
+
+    name = "instant"
+
+    def __init__(self, sim, delay=0.02):
+        super().__init__(sim)
+        self.delay = delay
+
+    def resolve(self, xtr, eid):
+        def _resolve():
+            yield self.sim.timeout(self.delay)
+            started = self.sim.now
+            mapping = self.registry.lookup(eid)
+            self.stats.record_resolution(self.sim.now - started, ok=mapping is not None)
+            return mapping
+
+        return self.sim.process(_resolve())
+
+
+def make_lisp_world(miss_policy_cls=DropPolicy, resolve_delay=0.02, seed=21,
+                    num_sites=2, gleaning=True, **policy_kwargs):
+    sim = Simulator(seed=seed)
+    topology = build_topology(sim, num_sites=num_sites, num_providers=4)
+    system = InstantMappingSystem(sim, delay=resolve_delay)
+    policy = miss_policy_cls(sim, **policy_kwargs)
+    xtrs = deploy_lisp(sim, topology, system, policy, gleaning=gleaning)
+    return sim, topology, system, policy, xtrs
+
+
+def deliveries(sim, node, port=7000):
+    sink = []
+    node.bind_udp(port, lambda packet, _node: sink.append((sim.now, packet)))
+    return sink
+
+
+def test_first_packet_dropped_on_miss_with_drop_policy():
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    assert sink == []
+    assert policy.stats.dropped == 1
+
+
+def test_subsequent_packet_encapsulated_after_resolution():
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.02)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.call_in(0.1, lambda: src.send(udp_packet(src.address, dst.address, 1, 7000)))
+    sim.run()
+    assert len(sink) == 1
+    itr = xtrs[0][0]
+    assert itr.map_cache.hits == 1
+    assert itr.encapsulated == 1
+
+
+def test_queue_policy_holds_then_flushes():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.05,
+                                                          max_queue=8)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    for i in range(3):
+        sim.call_in(0.001 * i, lambda: src.send(udp_packet(src.address, dst.address, 1, 7000)))
+    sim.run()
+    assert len(sink) == 3
+    assert policy.stats.queued == 3
+    assert policy.stats.flushed == 3
+    assert sink[0][0] > 0.05  # held until resolution completed
+    assert all(delay >= 0.04 for delay in policy.stats.queue_delays)
+
+
+def test_queue_policy_overflow_drops():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.05,
+                                                          max_queue=2)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    for _ in range(5):
+        src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    assert len(sink) == 2
+    assert policy.stats.queue_overflow == 3
+
+
+def test_cp_data_policy_refused_by_default_system():
+    sim, topology, system, policy, xtrs = make_lisp_world(CpDataPolicy)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    # Base mapping system refuses data carriage -> packet dropped.
+    assert sink == []
+    assert policy.stats.dropped == 1
+
+
+def test_local_traffic_not_encapsulated():
+    sim, topology, system, policy, xtrs = make_lisp_world()
+    site = topology.sites[0]
+    src, dst = site.hosts[0], site.hosts[1]
+    sink = deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    assert len(sink) == 1
+    assert xtrs[0][0].encapsulated == 0
+    assert policy.stats.dropped == 0
+
+
+def test_decap_and_forward_into_site():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.01)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    assert len(sink) == 1
+    etr = next(x for x in xtrs[1] if x.decapsulated)
+    assert etr.decapsulated == 1
+    # The packet reached the destination EID unencapsulated (inner only).
+    _when, packet = sink[0]
+    assert packet.inner is None
+    assert packet.ip.dst == dst.address
+
+
+def test_gleaning_learns_reverse_mapping():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.01)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    etr = next(x for x in xtrs[1] if x.decapsulated)
+    gleaned = etr.map_cache.peek(src.address)
+    assert gleaned is not None
+    itr_rloc = topology.sites[0].rloc_of(0)
+    assert gleaned.rlocs[0].address == itr_rloc
+    assert gleaned.eid_prefix.length == 32
+
+
+def test_gleaned_mapping_enables_reverse_traffic_without_resolution():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.01)
+    site_s, site_d = topology.sites
+    src, dst = site_s.hosts[0], site_d.hosts[0]
+    forward_sink = deliveries(sim, dst, port=7000)
+    reverse_sink = deliveries(sim, src, port=7001)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    resolutions_before = system.stats.resolutions
+    dst.send(udp_packet(dst.address, src.address, 7000, 7001))
+    sim.run()
+    assert len(reverse_sink) == 1
+    # Reverse direction answered from the gleaned entry: no new resolution.
+    assert system.stats.resolutions == resolutions_before
+
+
+def test_no_gleaning_mode():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.01,
+                                                          gleaning=False)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    etr = next(x for x in xtrs[1] if x.decapsulated)
+    assert etr.map_cache.peek(src.address) is None
+
+
+def test_one_resolution_per_prefix():
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.05)
+    src = topology.sites[0].hosts[0]
+    dst_site = topology.sites[1]
+    for i in range(2):
+        src.send(udp_packet(src.address, dst_site.hosts[i].address, 1, 7000))
+    sim.run()
+    itr = xtrs[0][0]
+    assert itr.resolutions_started == 1  # both EIDs share the /24
+
+
+def test_cache_ttl_override_expires_entries():
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.01)
+    itr = xtrs[0][0]
+    itr.map_cache.ttl_override = 0.5
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    sink = deliveries(sim, dst)
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    sim.call_in(1.0, lambda: src.send(udp_packet(src.address, dst.address, 1, 7000)))
+    sim.run()
+    # Entry aged out: the second packet misses again and is dropped.
+    assert policy.stats.dropped == 2
+    assert itr.map_cache.expirations >= 1
+
+
+def test_first_packet_flag_per_flow():
+    sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.01)
+    src = topology.sites[0].hosts[0]
+    dst = topology.sites[1].hosts[0]
+    deliveries(sim, dst)
+    flags = []
+    for xtr in xtrs[1]:
+        xtr.decap_listeners.append(
+            lambda _xtr, inner, outer, first: flags.append(first))
+    src.send(udp_packet(src.address, dst.address, 1, 7000))
+    sim.run()
+    sim.call_in(0.1, lambda: src.send(udp_packet(src.address, dst.address, 1, 7000)))
+    sim.run()
+    assert flags == [True, False]

@@ -1,0 +1,128 @@
+"""Tests for the radix-trie FIB: LPM correctness, updates, properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.errors import NoRouteError
+from repro.net.fib import Fib, FibEntry
+
+
+def make_fib(*routes):
+    fib = Fib()
+    for prefix, tag in routes:
+        fib.add(prefix, tag)
+    return fib
+
+
+def test_longest_prefix_wins():
+    fib = make_fib(("10.0.0.0/8", "coarse"), ("10.1.0.0/16", "mid"), ("10.1.2.0/24", "fine"))
+    assert fib.lookup("10.1.2.3").interface == "fine"
+    assert fib.lookup("10.1.9.9").interface == "mid"
+    assert fib.lookup("10.9.9.9").interface == "coarse"
+
+
+def test_default_route_matches_all():
+    fib = make_fib(("0.0.0.0/0", "default"), ("10.0.0.0/8", "ten"))
+    assert fib.lookup("11.0.0.1").interface == "default"
+    assert fib.lookup("10.0.0.1").interface == "ten"
+
+
+def test_no_route_raises():
+    fib = make_fib(("10.0.0.0/8", "ten"))
+    with pytest.raises(NoRouteError):
+        fib.lookup("11.0.0.1")
+
+
+def test_lookup_default_argument():
+    fib = Fib()
+    sentinel = FibEntry(IPv4Prefix("0.0.0.0/0"), "fallback")
+    assert fib.lookup("1.2.3.4", default=sentinel) is sentinel
+
+
+def test_host_route():
+    fib = make_fib(("10.0.0.0/8", "net"), ("10.0.0.5/32", "host"))
+    assert fib.lookup("10.0.0.5").interface == "host"
+    assert fib.lookup("10.0.0.6").interface == "net"
+
+
+def test_insert_replaces_same_prefix():
+    fib = make_fib(("10.0.0.0/8", "old"))
+    fib.add("10.0.0.0/8", "new")
+    assert fib.lookup("10.1.1.1").interface == "new"
+    assert len(fib) == 1
+
+
+def test_remove():
+    fib = make_fib(("10.0.0.0/8", "coarse"), ("10.1.0.0/16", "fine"))
+    removed = fib.remove("10.1.0.0/16")
+    assert removed.interface == "fine"
+    assert fib.lookup("10.1.2.3").interface == "coarse"
+    assert fib.remove("10.1.0.0/16") is None
+    assert len(fib) == 1
+
+
+def test_lookup_exact():
+    fib = make_fib(("10.0.0.0/8", "a"), ("10.1.0.0/16", "b"))
+    assert fib.lookup_exact("10.1.0.0/16").interface == "b"
+    assert fib.lookup_exact("10.2.0.0/16") is None
+
+
+def test_entries_sorted():
+    fib = make_fib(("11.0.0.0/8", "b"), ("10.0.0.0/8", "a"), ("10.1.0.0/16", "a16"))
+    prefixes = [str(entry.prefix) for entry in fib.entries()]
+    assert prefixes == ["10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"]
+
+
+def test_clear():
+    fib = make_fib(("10.0.0.0/8", "a"))
+    fib.clear()
+    assert len(fib) == 0
+    with pytest.raises(NoRouteError):
+        fib.lookup("10.0.0.1")
+
+
+def test_zero_length_prefix_only():
+    fib = make_fib(("0.0.0.0/0", "any"))
+    assert fib.lookup("0.0.0.0").interface == "any"
+    assert fib.lookup("255.255.255.255").interface == "any"
+
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@given(st.lists(st.tuples(addresses, st.integers(min_value=0, max_value=32)),
+                min_size=1, max_size=30), addresses)
+def test_lpm_matches_linear_scan(route_specs, probe):
+    """The trie must agree with a brute-force longest-match scan."""
+    fib = Fib()
+    table = {}
+    for value, length in route_specs:
+        prefix = IPv4Prefix.containing(value, length)
+        table[prefix] = str(prefix)
+        fib.add(prefix, str(prefix))
+
+    expected = None
+    for prefix in table:
+        if prefix.contains(IPv4Address(probe)):
+            if expected is None or prefix.length > expected.length:
+                expected = prefix
+    if expected is None:
+        with pytest.raises(NoRouteError):
+            fib.lookup(probe)
+    else:
+        assert fib.lookup(probe).interface == str(expected)
+
+
+@given(st.lists(st.tuples(addresses, st.integers(min_value=0, max_value=32)),
+                min_size=1, max_size=20))
+def test_inserted_prefixes_are_found_exactly(route_specs):
+    fib = Fib()
+    expected = set()
+    for value, length in route_specs:
+        prefix = IPv4Prefix.containing(value, length)
+        expected.add(prefix)
+        fib.add(prefix, "tag")
+    assert {entry.prefix for entry in fib.entries()} == expected
+    assert len(fib) == len(expected)

@@ -1,0 +1,212 @@
+"""Tests for links (delay, serialisation, queues, drops) and node dispatch."""
+
+import pytest
+
+from repro.net.errors import PortInUseError
+from repro.net.host import Host
+from repro.net.link import Link, connect
+from repro.net.node import Node
+from repro.net.packet import udp_packet
+from repro.net.router import Router
+from repro.sim import Simulator
+
+
+def two_hosts(sim, delay=0.01, rate_bps=None, queue_capacity=1000):
+    a = Host(sim, "a", address="10.0.0.1")
+    b = Host(sim, "b", address="10.0.0.2")
+    iface_a = a.add_interface("eth0")
+    iface_b = b.add_interface("eth0")
+    connect(sim, iface_a, iface_b, delay=delay, rate_bps=rate_bps,
+            queue_capacity=queue_capacity)
+    a.fib.add("0.0.0.0/0", iface_a)
+    b.fib.add("0.0.0.0/0", iface_b)
+    return a, b
+
+
+def test_packet_arrives_after_propagation_delay():
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.025)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    a.send(udp_packet(a.address, b.address, 1000, 7))
+    sim.run()
+    assert arrivals == [pytest.approx(0.025)]
+
+
+def test_serialisation_delay_with_finite_rate():
+    sim = Simulator()
+    # 1000-byte packet at 1 Mbit/s -> 8 ms serialisation + 1 ms propagation.
+    a, b = two_hosts(sim, delay=0.001, rate_bps=1_000_000)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    a.send(udp_packet(a.address, b.address, 1, 7, payload_bytes=1000 - 28))
+    sim.run()
+    assert arrivals == [pytest.approx(0.009)]
+
+
+def test_queueing_back_to_back_packets():
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.0, rate_bps=8_000)  # 1 byte per ms
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    for _ in range(3):
+        a.send(udp_packet(a.address, b.address, 1, 7, payload_bytes=100 - 28))
+    sim.run()
+    # Each 100-byte packet takes 100 ms to serialise; they queue in FIFO order.
+    assert arrivals == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+
+def test_tail_drop_when_queue_full():
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.0, rate_bps=8_000, queue_capacity=1)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    accepted = [a.send(udp_packet(a.address, b.address, 1, 7, payload_bytes=72))
+                for _ in range(5)]
+    sim.run()
+    # One in flight + one queued; the rest tail-dropped.
+    assert accepted == [True, True, False, False, False]
+    assert len(arrivals) == 2
+    link = a.interfaces["eth0"].link
+    assert link.stats.drops == 3
+
+
+def test_link_down_drops():
+    sim = Simulator()
+    a, b = two_hosts(sim)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    a.interfaces["eth0"].link.up = False
+    assert a.send(udp_packet(a.address, b.address, 1, 7)) is False
+    sim.run()
+    assert arrivals == []
+
+
+def test_link_stats_accumulate():
+    sim = Simulator()
+    a, b = two_hosts(sim)
+    b.bind_udp(7, lambda packet, node: None)
+    for _ in range(4):
+        a.send(udp_packet(a.address, b.address, 1, 7, payload_bytes=100))
+    sim.run()
+    link = a.interfaces["eth0"].link
+    assert link.stats.tx_packets == 4
+    assert link.stats.tx_bytes == 4 * 128
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, None, None, delay=-1.0)
+
+
+def test_node_local_delivery_without_wire():
+    sim = Simulator()
+    host = Host(sim, "lonely", address="10.0.0.1")
+    seen = []
+    host.bind_udp(9, lambda packet, node: seen.append(packet.udp.dport))
+    host.send(udp_packet(host.address, host.address, 1, 9))
+    sim.run()
+    assert seen == [9]
+
+
+def test_node_no_route_counts_drop():
+    sim = Simulator()
+    host = Host(sim, "h", address="10.0.0.1")
+    assert host.send(udp_packet(host.address, "11.0.0.1", 1, 2)) is False
+    assert host.dropped_packets == 1
+
+
+def test_udp_port_rebind_rejected():
+    sim = Simulator()
+    host = Host(sim, "h", address="10.0.0.1")
+    host.bind_udp(53, lambda packet, node: None)
+    with pytest.raises(PortInUseError):
+        host.bind_udp(53, lambda packet, node: None)
+    host.unbind_udp(53)
+    host.bind_udp(53, lambda packet, node: None)
+
+
+def test_unclaimed_packet_traced():
+    sim = Simulator()
+    a, b = two_hosts(sim)
+    a.send(udp_packet(a.address, b.address, 1, 9999))
+    sim.run()
+    assert b.dropped_packets == 1
+    assert len(sim.trace.of_kind("node.unclaimed")) == 1
+
+
+def test_base_node_does_not_forward():
+    sim = Simulator()
+    a, b = two_hosts(sim)
+    # Address 10.0.0.3 is not local to b; base nodes refuse to forward.
+    a.send(udp_packet(a.address, "10.0.0.3", 1, 7))
+    sim.run()
+    assert b.dropped_packets == 1
+    assert len(sim.trace.of_kind("node.no-forward")) == 1
+
+
+def router_chain(sim, hops, delay=0.01):
+    """a -- r1 -- ... -- rN -- b, with /32 routes end to end."""
+    a = Host(sim, "a", address="10.0.0.1")
+    b = Host(sim, "b", address="10.0.0.2")
+    routers = [Router(sim, f"r{i}") for i in range(hops)]
+    chain = [a, *routers, b]
+    for left, right in zip(chain, chain[1:]):
+        iface_l = left.add_interface(f"to-{right.name}")
+        iface_r = right.add_interface(f"to-{left.name}")
+        connect(sim, iface_l, iface_r, delay=delay)
+    for i, node in enumerate(chain[:-1]):
+        node.fib.add("10.0.0.2/32", node.interfaces[f"to-{chain[i + 1].name}"])
+    for i, node in enumerate(chain[1:], start=1):
+        node.fib.add("10.0.0.1/32", node.interfaces[f"to-{chain[i - 1].name}"])
+    return a, b, routers
+
+
+def test_router_forwards_across_chain():
+    sim = Simulator()
+    a, b, _routers = router_chain(sim, hops=3, delay=0.01)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append((sim.now, packet.ip.ttl)))
+    a.send(udp_packet(a.address, b.address, 1, 7))
+    sim.run()
+    when, ttl = arrivals[0]
+    assert when == pytest.approx(0.04)  # 4 links x 10 ms
+    assert ttl == 64 - 3  # one decrement per router
+
+
+def test_ttl_expiry_drops_packet():
+    sim = Simulator()
+    a, b, routers = router_chain(sim, hops=3)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    a.send(udp_packet(a.address, b.address, 1, 7, ttl=2))
+    sim.run()
+    assert arrivals == []
+    assert len(sim.trace.of_kind("router.ttl-expired")) == 1
+
+
+def test_forward_tap_can_consume():
+    sim = Simulator()
+    a, b, routers = router_chain(sim, hops=1)
+    tapped = []
+    routers[0].add_forward_tap(lambda packet, node: tapped.append(packet.uid) or True)
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    a.send(udp_packet(a.address, b.address, 1, 7))
+    sim.run()
+    assert len(tapped) == 1
+    assert arrivals == []  # consumed by the tap
+
+
+def test_forward_tap_observe_only():
+    sim = Simulator()
+    a, b, routers = router_chain(sim, hops=1)
+    tapped = []
+    routers[0].add_forward_tap(lambda packet, node: (tapped.append(packet.uid), False)[1])
+    arrivals = []
+    b.bind_udp(7, lambda packet, node: arrivals.append(sim.now))
+    a.send(udp_packet(a.address, b.address, 1, 7))
+    sim.run()
+    assert len(tapped) == 1
+    assert len(arrivals) == 1

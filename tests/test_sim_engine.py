@@ -1,0 +1,177 @@
+"""Tests for the simulation engine: event ordering, clock, run/step semantics."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.errors import EmptySchedule, EventAlreadyTriggered
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+    event = sim.timeout(5.0, value="hello")
+    event.callbacks.append(lambda ev: fired.append((sim.now, ev.value)))
+    sim.run()
+    assert fired == [(5.0, "hello")]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.call_in(delay, order.append, delay)
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.call_in(1.0, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.call_in(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_processes_events_at_boundary():
+    sim = Simulator()
+    hits = []
+    sim.call_in(4.0, hits.append, "at-4")
+    sim.run(until=4.0)
+    assert hits == ["at-4"]
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.call_in(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=0.5)
+
+
+def test_step_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.call_in(2.0, lambda: sim.call_at(7.0, lambda: hits.append(sim.now)))
+    sim.run()
+    assert hits == [7.0]
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+    sim.call_in(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_event_succeed_twice_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_event_fail_carries_exception():
+    sim = Simulator()
+    event = sim.event()
+    boom = RuntimeError("boom")
+    event.fail(boom)
+    sim.run()
+    assert event.processed
+    assert not event.ok
+    assert event.exception is boom
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.call_in(3.5, lambda: None)
+    assert sim.peek() == 3.5
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.call_in(1.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    fast = sim.timeout(1.0, value="fast")
+    slow = sim.timeout(5.0, value="slow")
+    either = sim.any_of([fast, slow])
+    results = []
+    either.callbacks.append(lambda ev: results.append((sim.now, dict(ev.value))))
+    sim.run()
+    when, values = results[0]
+    assert when == 1.0
+    assert values == {fast: "fast"}
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    first = sim.timeout(1.0, value=1)
+    second = sim.timeout(5.0, value=2)
+    both = sim.all_of([first, second])
+    results = []
+    both.callbacks.append(lambda ev: results.append((sim.now, set(ev.value.values()))))
+    sim.run()
+    assert results == [(5.0, {1, 2})]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    both = sim.all_of([])
+    sim.run()
+    assert both.processed and both.ok
+
+
+def test_deterministic_event_interleaving():
+    def build_and_run():
+        sim = Simulator(seed=7)
+        order = []
+        rng = sim.rng.stream("test")
+        for tag in range(50):
+            sim.call_in(rng.uniform(0, 10), order.append, tag)
+        sim.run()
+        return order
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,227 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.errors import SimulationError, StopProcess
+from repro.sim.process import Interrupt
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(2.0)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.processed and proc.ok
+    assert proc.value == "done"
+    assert sim.now == 2.0
+
+
+def test_process_receives_timeout_value():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        value = yield sim.timeout(1.0, value="payload")
+        seen.append(value)
+
+    sim.process(worker())
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3.0)
+        return 42
+
+    def parent():
+        result = yield sim.process(child())
+        return result * 2
+
+    proc = sim.process(parent())
+    sim.run()
+    assert proc.value == 84
+
+
+def test_process_waiting_on_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return "early"
+
+    child_proc = sim.process(child())
+
+    def parent():
+        yield sim.timeout(5.0)
+        result = yield child_proc  # already processed by now
+        return result
+
+    parent_proc = sim.process(parent())
+    sim.run()
+    assert parent_proc.value == "early"
+    assert sim.now == 5.0
+
+
+def test_process_sees_event_failure_as_exception():
+    sim = Simulator()
+    outcome = []
+
+    def worker():
+        doomed = sim.event()
+        sim.call_in(1.0, lambda: doomed.fail(RuntimeError("kaput")))
+        try:
+            yield doomed
+        except RuntimeError as exc:
+            outcome.append(str(exc))
+
+    sim.process(worker())
+    sim.run()
+    assert outcome == ["kaput"]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield "not an event"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.processed and not proc.ok
+    assert isinstance(proc.exception, SimulationError)
+
+
+def test_yielding_foreign_event_fails_process():
+    sim = Simulator()
+    other = Simulator()
+
+    def worker():
+        yield other.timeout(1.0)
+
+    proc = sim.process(worker())
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.exception, SimulationError)
+
+
+def test_stop_process_sets_result():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        raise StopProcess("stopped")
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.ok
+    assert proc.value == "stopped"
+
+
+def test_interrupt_is_catchable():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append(("interrupted", sim.now, interrupt.cause))
+        yield sim.timeout(1.0)
+        log.append(("recovered", sim.now))
+        return "recovered"
+
+    proc = sim.process(sleeper())
+    sim.call_in(2.0, proc.interrupt, "wake up")
+    sim.run()
+    assert log == [("interrupted", 2.0, "wake up"), ("recovered", 3.0)]
+    assert proc.value == "recovered"
+
+
+def test_uncaught_interrupt_finishes_process_with_cause():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100.0)
+
+    proc = sim.process(sleeper())
+    sim.call_in(1.0, proc.interrupt, "cause-value")
+    sim.run()
+    assert proc.ok
+    assert proc.value == "cause-value"
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(0.5)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_is_alive_transitions():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(worker())
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_many_processes_make_progress():
+    sim = Simulator()
+    finished = []
+
+    def worker(index):
+        for _ in range(index % 5 + 1):
+            yield sim.timeout(0.1 * (index + 1))
+        finished.append(index)
+
+    for index in range(100):
+        sim.process(worker(index))
+    sim.run()
+    assert sorted(finished) == list(range(100))
+
+
+def test_uncaught_exception_fails_process_and_propagates_to_waiter():
+    sim = Simulator()
+
+    def crasher():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    caught = []
+
+    def supervisor():
+        try:
+            yield sim.process(crasher())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    crash_proc = sim.process(crasher())
+    sim.process(supervisor())
+    sim.run()
+    assert caught == ["boom"]
+    assert crash_proc.processed and not crash_proc.ok
+    assert isinstance(crash_proc.exception, RuntimeError)
+    assert len(sim.trace.of_kind("process.failed")) == 2
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)

@@ -1,0 +1,89 @@
+"""Tests for random streams and the tracer."""
+
+from repro.sim import RandomStreams, Simulator, Tracer
+
+
+def test_streams_are_deterministic_across_instances():
+    first = RandomStreams(123).stream("arrivals")
+    second = RandomStreams(123).stream("arrivals")
+    assert [first.random() for _ in range(10)] == [second.random() for _ in range(10)]
+
+
+def test_streams_differ_by_name():
+    streams = RandomStreams(123)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_streams_differ_by_seed():
+    a = [RandomStreams(1).stream("x").random() for _ in range(5)]
+    b = [RandomStreams(2).stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_fork_produces_independent_universe():
+    base = RandomStreams(9)
+    fork_a = base.fork("rep1")
+    fork_b = base.fork("rep2")
+    assert fork_a.seed != fork_b.seed
+    assert fork_a.stream("x").random() != fork_b.stream("x").random()
+
+
+def test_fork_is_deterministic():
+    assert RandomStreams(9).fork("rep1").seed == RandomStreams(9).fork("rep1").seed
+
+
+def test_names_lists_created_streams():
+    streams = RandomStreams(0)
+    streams.stream("zeta")
+    streams.stream("alpha")
+    assert streams.names() == ["alpha", "zeta"]
+
+
+def test_tracer_records_and_filters():
+    tracer = Tracer()
+    tracer.record(1.0, "node-a", "pkt.send", size=100)
+    tracer.record(2.0, "node-b", "pkt.recv", size=100)
+    tracer.record(3.0, "node-a", "dns.query", qname="example.com")
+    assert len(tracer) == 3
+    assert [r.time for r in tracer.of_kind("pkt.recv")] == [2.0]
+    assert len(tracer.with_prefix("pkt.")) == 2
+    assert [r.kind for r in tracer.between(1.5, 3.0)] == ["pkt.recv", "dns.query"]
+
+
+def test_tracer_enable_only():
+    tracer = Tracer()
+    tracer.enable_only("dns.")
+    assert tracer.record(1.0, "x", "pkt.send") is None
+    assert tracer.record(2.0, "x", "dns.query") is not None
+    assert len(tracer) == 1
+
+
+def test_tracer_subscribe():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.record(1.0, "x", "kind.a")
+    assert len(seen) == 1 and seen[0].kind == "kind.a"
+
+
+def test_tracer_dump_and_clear():
+    tracer = Tracer()
+    tracer.record(1.0, "x", "a", k=1)
+    text = tracer.dump()
+    assert "k=1" in text and "a" in text
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_simulator_owns_trace_and_rng():
+    sim = Simulator(seed=5)
+    sim.trace.record(sim.now, "engine", "boot")
+    assert len(sim.trace) == 1
+    assert sim.rng.stream("any") is sim.rng.stream("any")

@@ -1,0 +1,151 @@
+"""Tests for traffic models: Zipf popularity, TCP handshake, UDP sinks."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.fib import FibEntry
+from repro.net.addresses import IPv4Prefix
+from repro.net.host import Host
+from repro.net.link import connect
+from repro.net.packet import udp_packet
+from repro.sim import Simulator
+from repro.traffic.flows import DEFAULT_RTO, FlowRecord, TcpStack, UdpSink, send_udp_burst
+from repro.traffic.popularity import ZipfSampler
+
+
+def test_zipf_probabilities_sum_to_one():
+    sampler = ZipfSampler(10, s=1.0)
+    total = sum(sampler.probability(rank) for rank in range(10))
+    assert total == pytest.approx(1.0)
+
+
+def test_zipf_rank_ordering():
+    sampler = ZipfSampler(10, s=1.2)
+    probs = [sampler.probability(rank) for rank in range(10)]
+    assert probs == sorted(probs, reverse=True)
+
+
+def test_zipf_zero_skew_is_uniform():
+    sampler = ZipfSampler(4, s=0.0)
+    for rank in range(4):
+        assert sampler.probability(rank) == pytest.approx(0.25)
+
+
+def test_zipf_samples_match_skew():
+    rng = random.Random(1)
+    sampler = ZipfSampler(20, s=1.5, rng=rng)
+    draws = sampler.sample_many(4000)
+    top = sum(1 for d in draws if d == 0) / len(draws)
+    assert top > 0.3  # rank 1 dominates at s=1.5
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5, s=-1)
+    with pytest.raises(ValueError):
+        ZipfSampler(5).sample()  # no RNG anywhere
+
+
+@given(st.integers(min_value=1, max_value=50),
+       st.floats(min_value=0.0, max_value=3.0),
+       st.integers(min_value=0, max_value=2**31))
+def test_zipf_samples_in_range(n, s, seed):
+    sampler = ZipfSampler(n, s=s, rng=random.Random(seed))
+    for _ in range(20):
+        assert 0 <= sampler.sample() < n
+
+
+def linked_hosts(sim, delay=0.01):
+    a = Host(sim, "a", address="10.0.0.1")
+    b = Host(sim, "b", address="10.0.0.2")
+    iface_a = a.add_interface("eth0")
+    iface_b = b.add_interface("eth0")
+    connect(sim, iface_a, iface_b, delay=delay)
+    a.fib.insert(FibEntry(IPv4Prefix("0.0.0.0/0"), iface_a))
+    b.fib.insert(FibEntry(IPv4Prefix("0.0.0.0/0"), iface_b))
+    return a, b
+
+
+def test_tcp_handshake_takes_one_rtt():
+    sim = Simulator()
+    a, b = linked_hosts(sim, delay=0.05)
+    TcpStack(sim, b).listen(80)
+    client = TcpStack(sim, a)
+    proc = client.connect(b.address, 80)
+    sim.run()
+    elapsed, retries = proc.value
+    assert retries == 0
+    assert elapsed == pytest.approx(0.1)  # SYN + SYN/ACK
+
+
+def test_tcp_handshake_retransmits_on_loss():
+    sim = Simulator()
+    a, b = linked_hosts(sim, delay=0.05)
+    TcpStack(sim, b).listen(80)
+    client = TcpStack(sim, a)
+    # Break the link for the first SYN, restore before the RTO fires.
+    link = a.interfaces["eth0"].link
+    link.up = False
+    sim.call_in(0.5, lambda: setattr(link, "up", True))
+    proc = client.connect(b.address, 80)
+    sim.run()
+    elapsed, retries = proc.value
+    assert retries == 1
+    assert elapsed == pytest.approx(DEFAULT_RTO + 0.1)
+
+
+def test_tcp_handshake_gives_up():
+    sim = Simulator()
+    a, b = linked_hosts(sim)
+    TcpStack(sim, b).listen(80)
+    a.interfaces["eth0"].link.up = False
+    proc = TcpStack(sim, a).connect(b.address, 80, max_retries=1)
+    sim.run()
+    assert proc.value is None
+
+
+def test_tcp_no_listener_times_out():
+    sim = Simulator()
+    a, b = linked_hosts(sim)
+    TcpStack(sim, b)  # stack exists but port 80 not listening
+    proc = TcpStack(sim, a).connect(b.address, 80, max_retries=0)
+    sim.run()
+    assert proc.value is None
+
+
+def test_udp_sink_counts_by_flow():
+    sim = Simulator()
+    a, b = linked_hosts(sim)
+    sink = UdpSink(sim, b, 9000)
+    for flow_id in (1, 1, 2):
+        a.send(udp_packet(a.address, b.address, 5000, 9000,
+                          meta={"flow_id": flow_id}))
+    sim.run()
+    assert sink.received == 3
+    assert sink.by_flow == {1: 2, 2: 1}
+    assert len(sink.arrival_times) == 3
+
+
+def test_udp_burst_paces_packets():
+    sim = Simulator()
+    a, b = linked_hosts(sim, delay=0.0)
+    sink = UdpSink(sim, b, 9000)
+    record = FlowRecord(flow_id=42, source=a.address)
+    send_udp_burst(sim, a, b.address, 9000, record, count_packets=4, spacing=0.01)
+    sim.run()
+    assert record.packets_sent == 4
+    assert sink.by_flow[42] == 4
+    gaps = [t2 - t1 for t1, t2 in zip(sink.arrival_times, sink.arrival_times[1:])]
+    assert all(gap == pytest.approx(0.01) for gap in gaps)
+
+
+def test_flow_record_packets_lost():
+    record = FlowRecord(flow_id=1)
+    record.packets_sent = 5
+    record.packets_delivered = 3
+    assert record.packets_lost == 2

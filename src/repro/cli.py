@@ -10,6 +10,23 @@ Usage::
 
 Each experiment prints the regenerated table plus its shape-check verdict
 (the same checks the benchmark harness enforces).
+
+Parameter sweeps (``repro sweep``)
+----------------------------------
+
+``sweep`` expands a declarative grid (control plane x site count x seed x
+Zipf skew) into scenario/workload cells, fans them out across worker
+processes, and writes aggregated JSON/CSV artifacts::
+
+    python -m repro sweep                       # "smoke" preset, 1 worker
+    python -m repro sweep --preset scale --workers 4 \\
+        --json sweep.json --csv sweep.csv       # 24 cells incl. 120 sites
+    python -m repro sweep --preset baselines --sites 4 16 --seeds 1 2 3
+
+Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
+(``--control-planes/--sites/--seeds/--zipf/--flows/--mode``) override the
+chosen preset's axes.  Aggregates are deterministic: the same grid and
+seeds produce byte-identical JSON for any ``--workers`` value.
 """
 
 import argparse
@@ -114,7 +131,69 @@ def build_parser():
     report.add_argument("-o", "--output", default=None,
                         help="write markdown to this file (default: stdout)")
     report.add_argument("--seed", type=int, default=11)
+    sweep = sub.add_parser("sweep", help="run a scenario parameter sweep")
+    sweep.add_argument("--preset", default="smoke",
+                       help="grid preset (see repro.experiments.sweep.PRESETS)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes for cell fan-out")
+    sweep.add_argument("--json", default=None, help="write full payload here")
+    sweep.add_argument("--csv", default=None, help="write per-cell CSV here")
+    sweep.add_argument("--control-planes", nargs="+", default=None)
+    sweep.add_argument("--sites", nargs="+", type=int, default=None)
+    sweep.add_argument("--seeds", nargs="+", type=int, default=None)
+    sweep.add_argument("--zipf", nargs="+", type=float, default=None)
+    sweep.add_argument("--flows", type=int, default=None)
+    sweep.add_argument("--mode", choices=("udp", "tcp"), default=None)
     return parser
+
+
+def _run_sweep_command(args):
+    from dataclasses import replace
+
+    from repro.experiments.sweep import PRESETS, run_sweep
+
+    if args.preset not in PRESETS:
+        print(f"unknown preset {args.preset!r}; available: "
+              f"{', '.join(sorted(PRESETS))}")
+        return 1
+    grid = PRESETS[args.preset]
+    overrides = {}
+    if args.control_planes is not None:
+        overrides["control_planes"] = tuple(args.control_planes)
+    if args.sites is not None:
+        overrides["site_counts"] = tuple(args.sites)
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    if args.zipf is not None:
+        overrides["zipf_values"] = tuple(args.zipf)
+    if args.flows is not None:
+        overrides["num_flows"] = args.flows
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if overrides:
+        grid = replace(grid, **overrides)
+
+    try:
+        payload = run_sweep(grid, workers=max(1, args.workers),
+                            json_path=args.json, csv_path=args.csv)
+    except ValueError as error:
+        print(f"sweep error: {error}")
+        return 1
+    rows = [(a["control_plane"], a["num_sites"], a["zipf_s"], a["cells"],
+             a["flows"], a["first_packet_drops"], a["packets_lost"],
+             "-" if a["cache_hit_ratio_mean"] is None
+             else f"{a['cache_hit_ratio_mean']:.3f}",
+             "-" if a["setup_p95_mean"] is None
+             else f"{a['setup_p95_mean'] * 1000:.2f} ms")
+            for a in payload["aggregates"]]
+    print(format_table(("system", "sites", "zipf", "cells", "flows",
+                        "first_pkt_drops", "pkts_lost", "hit_ratio",
+                        "setup_p95"), rows,
+                       title=f"sweep '{grid.name}': {payload['num_cells']} cells"))
+    for path, label in ((args.json, "json"), (args.csv, "csv")):
+        if path is not None:
+            print(f"{label} written to {path}")
+    return 0
 
 
 def main(argv=None):
@@ -125,6 +204,8 @@ def main(argv=None):
                            [(name, description)
                             for name, (description, _runner) in sorted(EXPERIMENTS.items())]))
         return 0
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

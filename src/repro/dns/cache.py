@@ -4,25 +4,69 @@
 class TtlCache:
     """Maps keys to values with per-entry absolute expiry times.
 
-    Expiry is evaluated lazily against the simulator clock on access; a
-    small periodic sweep is unnecessary for the experiment sizes used here.
+    Expiry is evaluated lazily against the simulator clock on access, and a
+    size-triggered compaction sweeps out entries that expired without ever
+    being re-touched — so memory stays O(live entries) even under workloads
+    that never revisit a key (the map-cache aging regime of weakness W1).
+
+    Contract notes:
+
+    - ``put`` with ``ttl <= 0`` REJECTS the entry: any existing entry for
+      the key is invalidated, ``rejected_puts`` is incremented and a
+      ``cache.put-rejected`` trace event is recorded.  It returns False.
+    - ``max_entries``, when given, bounds the number of stored entries;
+      once full (after compacting the expired), the entry closest to expiry
+      is evicted (counted in ``evictions``).
+    - ``len(cache)`` is exact: it compacts first, so dead entries are both
+      freed and never counted.
     """
 
-    def __init__(self, sim, name="cache"):
+    #: Entry count at which the first automatic compaction triggers.
+    COMPACT_THRESHOLD = 256
+
+    def __init__(self, sim, name="cache", max_entries=None):
         self.sim = sim
         self.name = name
+        self.max_entries = max_entries
         self._entries = {}
+        self._next_compact = self.COMPACT_THRESHOLD
         self.hits = 0
         self.misses = 0
         self.expirations = 0
         self.insertions = 0
+        self.rejected_puts = 0
+        self.evictions = 0
 
     def put(self, key, value, ttl):
-        """Store *value* for *ttl* seconds of simulated time."""
+        """Store *value* for *ttl* seconds of simulated time.
+
+        Returns True if the entry is stored and survived any capacity
+        eviction (a full cache evicts the entry closest to expiry, which can
+        be the one just inserted).  Non-positive TTLs are rejected (see
+        class docstring): nothing is stored, any stale entry for *key* is
+        dropped, and False is returned.
+        """
         if ttl <= 0:
-            return
+            self._entries.pop(key, None)
+            self.rejected_puts += 1
+            self.sim.trace.record(self.sim.now, self.name, "cache.put-rejected",
+                                  key=str(key), ttl=ttl)
+            return False
         self._entries[key] = (self.sim.now + ttl, value)
         self.insertions += 1
+        if len(self._entries) >= self._next_compact:
+            self.compact()
+            # Back off so compaction stays amortized O(1) per insertion.
+            self._next_compact = max(self.COMPACT_THRESHOLD,
+                                     2 * len(self._entries))
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self.compact()
+            while len(self._entries) > self.max_entries:
+                victim = min(self._entries, key=lambda k: self._entries[k][0])
+                del self._entries[victim]
+                self.evictions += 1
+            return key in self._entries
+        return True
 
     def get(self, key):
         """Return the live value for *key*, or None (counting hit/miss)."""
@@ -49,6 +93,16 @@ class TtlCache:
             return None
         return value
 
+    def compact(self):
+        """Drop every expired entry now; returns how many were freed."""
+        now = self.sim.now
+        dead = [key for key, (expires, _value) in self._entries.items()
+                if expires <= now]
+        for key in dead:
+            del self._entries[key]
+        self.expirations += len(dead)
+        return len(dead)
+
     def invalidate(self, key):
         self._entries.pop(key, None)
 
@@ -56,8 +110,13 @@ class TtlCache:
         self._entries.clear()
 
     def __len__(self):
-        now = self.sim.now
-        return sum(1 for expires, _ in self._entries.values() if expires > now)
+        self.compact()
+        return len(self._entries)
+
+    @property
+    def stored_entries(self):
+        """Raw stored entry count, dead included (memory diagnostic)."""
+        return len(self._entries)
 
     @property
     def hit_ratio(self):

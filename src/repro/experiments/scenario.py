@@ -42,6 +42,10 @@ class ScenarioConfig:
     hosts_per_site: int = 2
     seed: int = 1
     fig1: bool = False
+    #: Disable for large sweeps: the tracer records nothing (big memory and
+    #: time win on the per-packet hot path; experiments that read the trace
+    #: must keep it on).
+    tracing: bool = True
     # Reactive-baseline knobs
     miss_policy: str = "drop"
     queue_depth: int = 8
@@ -131,7 +135,7 @@ def build_scenario(config):
     """Build the world described by *config* and return a :class:`Scenario`."""
     if config.control_plane not in CONTROL_PLANES:
         raise ValueError(f"unknown control plane {config.control_plane!r}")
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, tracing=config.tracing)
     topo_kwargs = dict(
         num_providers=config.num_providers,
         providers_per_site=config.providers_per_site,

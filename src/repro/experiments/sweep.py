@@ -1,0 +1,384 @@
+"""Parameter sweeps: declarative scenario grids fanned out over processes.
+
+The experiment modules (E1-E9) each run a handful of hand-picked worlds.
+This module is the scaling counterpart: a :class:`SweepGrid` declares axes
+(control plane x site count x seed x workload skew), :func:`expand_grid`
+turns it into concrete :class:`SweepCell` objects — one
+:class:`~repro.experiments.scenario.ScenarioConfig` /
+:class:`~repro.experiments.workload.WorkloadConfig` pair per cell — and
+:func:`run_sweep` fans the cells out across worker processes.
+
+Determinism: each worker process builds its own
+:class:`~repro.sim.Simulator` from the cell's seed, so a cell's metrics
+depend only on its configs; results are ordered by cell index (not by
+completion), so the aggregate artifact is byte-identical across runs and
+across ``workers=1`` vs ``workers=N``.  Nothing wall-clock-dependent is
+written into the JSON/CSV artifacts.
+
+Sweep cells run with tracing disabled (``ScenarioConfig.tracing=False``):
+metrics come from counters and flow records, and skipping per-packet trace
+allocation is what makes the >=100-site cells cheap.
+
+Usage::
+
+    from repro.experiments.sweep import PRESETS, run_sweep
+    outcome = run_sweep(PRESETS["scale"], workers=4,
+                        json_path="sweep.json", csv_path="sweep.csv")
+
+or from the command line: ``python -m repro sweep --preset scale --workers 4``.
+"""
+
+import csv
+import json
+import multiprocessing
+from dataclasses import dataclass, field, fields
+
+from repro.experiments.scenario import CONTROL_PLANES, ScenarioConfig, build_scenario
+from repro.experiments.workload import (WorkloadConfig, classify_first_packet,
+                                        run_workload)
+from repro.metrics.stats import mean, percentile, summarize
+
+#: Schema tag written into every JSON artifact.
+SCHEMA = "repro.sweep/v1"
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Declarative axes of a sweep plus shared scenario/workload knobs.
+
+    The cross product ``control_planes x site_counts x zipf_values x seeds``
+    defines the cells, in that nesting order.  ``scenario_overrides`` and
+    ``workload_overrides`` apply to every cell (any
+    :class:`ScenarioConfig` / :class:`WorkloadConfig` field).
+    """
+
+    name: str = "sweep"
+    control_planes: tuple = ("pce", "alt")
+    site_counts: tuple = (4,)
+    seeds: tuple = (1,)
+    zipf_values: tuple = (1.0,)
+    num_providers: int = 4
+    hosts_per_site: int = 2
+    num_flows: int = 40
+    arrival_rate: float = 20.0
+    mode: str = "udp"
+    packets_per_flow: int = 3
+    mapping_ttl: float = 60.0
+    scenario_overrides: dict = field(default_factory=dict)
+    workload_overrides: dict = field(default_factory=dict)
+
+    def describe(self):
+        """JSON-ready description of the grid (stable field order)."""
+        description = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            description[spec.name] = list(value) if isinstance(value, tuple) else value
+        return description
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the grid: everything a worker needs to run it."""
+
+    index: int
+    cell_id: str
+    scenario: ScenarioConfig
+    workload: WorkloadConfig
+
+
+def expand_grid(grid):
+    """The grid's cells, in deterministic axis-nesting order."""
+    for control_plane in grid.control_planes:
+        if control_plane not in CONTROL_PLANES:
+            raise ValueError(f"unknown control plane {control_plane!r}")
+    cells = []
+    for control_plane in grid.control_planes:
+        for num_sites in grid.site_counts:
+            for zipf_s in grid.zipf_values:
+                for seed in grid.seeds:
+                    # Overrides win over axis-derived values (so a grid can
+                    # e.g. force miss_policy or hosts_per_site per cell).
+                    scenario_kwargs = dict(
+                        control_plane=control_plane,
+                        num_sites=num_sites,
+                        num_providers=grid.num_providers,
+                        hosts_per_site=grid.hosts_per_site,
+                        seed=seed,
+                        mapping_ttl=grid.mapping_ttl,
+                        tracing=False)
+                    scenario_kwargs.update(grid.scenario_overrides)
+                    scenario = ScenarioConfig(**scenario_kwargs)
+                    workload_kwargs = dict(
+                        num_flows=grid.num_flows,
+                        arrival_rate=grid.arrival_rate,
+                        zipf_s=zipf_s,
+                        mode=grid.mode,
+                        packets_per_flow=grid.packets_per_flow)
+                    workload_kwargs.update(grid.workload_overrides)
+                    workload = WorkloadConfig(**workload_kwargs)
+                    cell_id = (f"{control_plane}-sites{num_sites}"
+                               f"-zipf{zipf_s:g}-seed{seed}")
+                    cells.append(SweepCell(index=len(cells), cell_id=cell_id,
+                                           scenario=scenario, workload=workload))
+    return cells
+
+
+# --------------------------------------------------------------------- #
+# Per-cell execution
+# --------------------------------------------------------------------- #
+
+def run_cell(cell):
+    """Build the cell's world, run its workload, and measure it.
+
+    Returns a JSON-ready dict; everything in it is derived from the
+    simulation alone (no wall-clock values), keeping sweep artifacts
+    reproducible.
+    """
+    scenario = build_scenario(cell.scenario)
+    records = run_workload(scenario, cell.workload)
+
+    cache_hits = cache_misses = cache_expirations = 0
+    resolutions_started = resolutions_failed = 0
+    no_rloc_drops = encapsulated = decapsulated = 0
+    fib_nodes = fib_entries = 0
+    for xtr_list in scenario.xtrs_by_site.values():
+        for xtr in xtr_list:
+            cache_hits += xtr.map_cache.hits
+            cache_misses += xtr.map_cache.misses
+            cache_expirations += xtr.map_cache.expirations
+            resolutions_started += xtr.resolutions_started
+            resolutions_failed += xtr.resolutions_failed
+            no_rloc_drops += xtr.no_rloc_drops
+            encapsulated += xtr.encapsulated
+            decapsulated += xtr.decapsulated
+            fib_nodes += xtr.map_cache.node_count()
+            fib_entries += len(xtr.map_cache)
+    lookups = cache_hits + cache_misses
+
+    fates = {}
+    for record in records:
+        fate = classify_first_packet(record)
+        fates[fate] = fates.get(fate, 0) + 1
+
+    completed = [r for r in records if not r.failed]
+    dns_latencies = [r.dns_elapsed for r in records if r.dns_elapsed is not None]
+    setup_latencies = [r.setup_elapsed for r in completed
+                       if r.setup_elapsed is not None]
+
+    if scenario.mapping_system is not None:
+        control_messages = scenario.mapping_system.stats.messages
+        control_bytes = scenario.mapping_system.stats.bytes
+    elif scenario.control_plane is not None:
+        control_messages = scenario.control_plane.total_control_messages()
+        control_bytes = scenario.control_plane.total_push_bytes()
+    else:
+        control_messages = control_bytes = 0
+
+    metrics = {
+        "flows": len(records),
+        "flows_failed": sum(1 for r in records if r.failed),
+        "packets_sent": sum(r.packets_sent for r in records),
+        "packets_delivered": sum(r.packets_delivered for r in records),
+        "packets_lost": sum(r.packets_lost for r in completed),
+        "first_packet_fates": dict(sorted(fates.items())),
+        "first_packet_drops": scenario.total_first_packet_drops(),
+        "cache_hit_ratio": round(cache_hits / lookups, 6) if lookups else None,
+        "cache_expirations": cache_expirations,
+        "resolutions_started": resolutions_started,
+        "resolutions_failed": resolutions_failed,
+        "no_rloc_drops": no_rloc_drops,
+        "encapsulated": encapsulated,
+        "decapsulated": decapsulated,
+        "map_cache_trie_nodes": fib_nodes,
+        "map_cache_entries": fib_entries,
+        "dns_latency": _round_summary(summarize(dns_latencies))
+        if dns_latencies else None,
+        "setup_latency": _round_summary(summarize(setup_latencies))
+        if setup_latencies else None,
+        "control_messages": control_messages,
+        "control_bytes": control_bytes,
+        "sim_events": scenario.sim.processed_events,
+        "sim_end_time": round(scenario.sim.now, 9),
+    }
+    return {
+        "index": cell.index,
+        "cell_id": cell.cell_id,
+        "control_plane": cell.scenario.control_plane,
+        "num_sites": cell.scenario.num_sites,
+        "seed": cell.scenario.seed,
+        "zipf_s": cell.workload.zipf_s,
+        "mode": cell.workload.mode,
+        "metrics": metrics,
+    }
+
+
+def _round_summary(summary):
+    return {key: (round(value, 9) if isinstance(value, float) else value)
+            for key, value in summary.items()}
+
+
+# --------------------------------------------------------------------- #
+# Fan-out and aggregation
+# --------------------------------------------------------------------- #
+
+def _map_cells(cells, workers):
+    if workers <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    context = multiprocessing.get_context()
+    processes = min(workers, len(cells))
+    with context.Pool(processes=processes) as pool:
+        # pool.map preserves submission order, so results are index-ordered
+        # regardless of which worker finishes first.
+        return pool.map(run_cell, cells, chunksize=1)
+
+
+def aggregate_cells(results):
+    """Seed-averaged aggregates per (control_plane, num_sites, zipf_s)."""
+    groups = {}
+    for result in results:
+        key = (result["control_plane"], result["num_sites"], result["zipf_s"])
+        groups.setdefault(key, []).append(result)
+    aggregates = []
+    for key in sorted(groups, key=lambda k: (k[0], k[1], k[2])):
+        members = groups[key]
+        control_plane, num_sites, zipf_s = key
+        hit_ratios = [m["metrics"]["cache_hit_ratio"] for m in members
+                      if m["metrics"]["cache_hit_ratio"] is not None]
+        setup_p95s = [m["metrics"]["setup_latency"]["p95"] for m in members
+                      if m["metrics"]["setup_latency"] is not None]
+        aggregate = {
+            "control_plane": control_plane,
+            "num_sites": num_sites,
+            "zipf_s": zipf_s,
+            "cells": len(members),
+            "seeds": sorted(m["seed"] for m in members),
+            "flows": sum(m["metrics"]["flows"] for m in members),
+            "packets_lost": sum(m["metrics"]["packets_lost"] for m in members),
+            "first_packet_drops": sum(m["metrics"]["first_packet_drops"]
+                                      for m in members),
+            "cache_hit_ratio_mean": round(mean(hit_ratios), 6)
+            if hit_ratios else None,
+            "setup_p95_mean": round(mean(setup_p95s), 9) if setup_p95s else None,
+            "dns_p95_max": _max_dns_p95(members),
+            "control_messages": sum(m["metrics"]["control_messages"]
+                                    for m in members),
+            "sim_events": sum(m["metrics"]["sim_events"] for m in members),
+        }
+        aggregates.append(aggregate)
+    return aggregates
+
+
+def _max_dns_p95(members):
+    values = [m["metrics"]["dns_latency"]["p95"] for m in members
+              if m["metrics"]["dns_latency"] is not None]
+    return round(max(values), 9) if values else None
+
+
+def run_sweep(grid, workers=1, json_path=None, csv_path=None):
+    """Expand *grid*, run every cell, aggregate, and write artifacts.
+
+    Returns the full payload dict (also what lands in ``json_path``).
+    """
+    cells = expand_grid(grid)
+    results = _map_cells(cells, workers)
+    payload = {
+        "schema": SCHEMA,
+        "grid": grid.describe(),
+        "num_cells": len(results),
+        "cells": results,
+        "aggregates": aggregate_cells(results),
+    }
+    if json_path is not None:
+        write_json(payload, json_path)
+    if csv_path is not None:
+        write_csv(payload, csv_path)
+    return payload
+
+
+def payload_digest(payload):
+    """Canonical JSON string of *payload* (determinism checks diff this)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_json(payload, path):
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+#: Flat per-cell CSV columns (scalars only; nested summaries get p50/p95).
+CSV_COLUMNS = ("index", "cell_id", "control_plane", "num_sites", "seed",
+               "zipf_s", "mode", "flows", "flows_failed", "packets_sent",
+               "packets_delivered", "packets_lost", "first_packet_drops",
+               "cache_hit_ratio", "cache_expirations", "resolutions_started",
+               "resolutions_failed", "map_cache_trie_nodes",
+               "map_cache_entries", "dns_p50", "dns_p95", "setup_p50",
+               "setup_p95", "control_messages", "control_bytes", "sim_events")
+
+
+def write_csv(payload, path):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for cell in payload["cells"]:
+            metrics = cell["metrics"]
+            dns = metrics["dns_latency"] or {}
+            setup = metrics["setup_latency"] or {}
+            row = {
+                **{key: cell[key] for key in
+                   ("index", "cell_id", "control_plane", "num_sites", "seed",
+                    "zipf_s", "mode")},
+                **{key: metrics[key] for key in
+                   ("flows", "flows_failed", "packets_sent",
+                    "packets_delivered", "packets_lost", "first_packet_drops",
+                    "cache_hit_ratio", "cache_expirations",
+                    "resolutions_started", "resolutions_failed",
+                    "map_cache_trie_nodes", "map_cache_entries",
+                    "control_messages", "control_bytes", "sim_events")},
+                "dns_p50": dns.get("median", ""), "dns_p95": dns.get("p95", ""),
+                "setup_p50": setup.get("median", ""),
+                "setup_p95": setup.get("p95", ""),
+            }
+            writer.writerow([row[column] for column in CSV_COLUMNS])
+
+
+# --------------------------------------------------------------------- #
+# Presets
+# --------------------------------------------------------------------- #
+
+PRESETS = {
+    # Tiny grid for smoke tests and CLI demos (seconds).
+    "smoke": SweepGrid(
+        name="smoke",
+        control_planes=("pce", "alt"),
+        site_counts=(3,),
+        seeds=(1, 2),
+        zipf_values=(1.0,),
+        num_flows=12,
+        arrival_rate=10.0,
+    ),
+    # Every control plane at moderate scale; cache-tail behaviour appears.
+    "baselines": SweepGrid(
+        name="baselines",
+        control_planes=("pce", "alt", "cons", "nerd"),
+        site_counts=(4, 8),
+        seeds=(11, 12),
+        zipf_values=(0.0, 1.2),
+        num_flows=40,
+        arrival_rate=20.0,
+    ),
+    # The ROADMAP's production-scale target: >=100 sites, Zipf-skewed
+    # destinations, all four control planes, 24 cells.  TCP mode so the
+    # artifacts carry connection-setup latency percentiles.
+    "scale": SweepGrid(
+        name="scale",
+        control_planes=("pce", "alt", "cons", "nerd"),
+        site_counts=(8, 32, 120),
+        seeds=(11, 12),
+        zipf_values=(1.2,),
+        num_providers=8,
+        num_flows=80,
+        arrival_rate=40.0,
+        mode="tcp",
+    ),
+}

@@ -3,6 +3,7 @@
 from collections import defaultdict
 
 from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.fib import Fib, FibEntry
 
 
 class ControlStats:
@@ -30,25 +31,31 @@ class ControlStats:
 
 
 class MappingRegistry:
-    """The authoritative EID-to-RLOC database, keyed by EID prefix."""
+    """The authoritative EID-to-RLOC database, keyed by EID prefix.
+
+    Longest-prefix lookup is served by a radix trie, so a per-cache-miss
+    query stays O(prefix length) even with hundreds of registered sites
+    (the sweep engine's large-scale presets).
+    """
 
     def __init__(self):
         self._by_prefix = {}
+        self._fib = Fib()
 
     def register(self, mapping):
         self._by_prefix[mapping.eid_prefix] = mapping
+        self._fib.insert(FibEntry(mapping.eid_prefix, mapping))
         return mapping
 
     def lookup(self, eid):
-        """Most specific registered mapping covering *eid* (linear scan is
-        fine at registry sizes used here)."""
-        eid = IPv4Address(eid)
-        best = None
-        for prefix, mapping in self._by_prefix.items():
-            if prefix.contains(eid):
-                if best is None or prefix.length > best.eid_prefix.length:
-                    best = mapping
-        return best
+        """Most specific registered mapping covering *eid* (or None)."""
+        entry = self._fib.lookup(IPv4Address(eid), default=None)
+        return entry.interface if entry is not None else None
+
+    def covering_prefix(self, eid):
+        """The registered EID prefix covering *eid* (None if unregistered)."""
+        mapping = self.lookup(eid)
+        return mapping.eid_prefix if mapping is not None else None
 
     def lookup_prefix(self, prefix):
         return self._by_prefix.get(IPv4Prefix(prefix))
@@ -78,6 +85,14 @@ class MappingSystem:
     def attach_xtr(self, xtr):
         """Called by each TunnelRouter binding itself to this system."""
         self.xtrs.append(xtr)
+
+    def covering_prefix(self, eid):
+        """The authoritative EID prefix covering *eid* (None if unknown).
+
+        ITRs use this to key in-flight-resolution dedup at true site
+        granularity rather than a hardcoded /24 guess.
+        """
+        return self.registry.covering_prefix(eid)
 
     def resolve(self, xtr, eid):
         """Process returning the mapping for *eid* (or None).  Subclasses

@@ -65,8 +65,8 @@ class MapCache:
         return slot.mapping if slot is not None else None
 
     def _live_slot(self, eid):
-        entry = self._fib.lookup(IPv4Address(eid), default=_MISS)
-        if entry is _MISS:
+        entry = self._fib.lookup(IPv4Address(eid), default=None)
+        if entry is None:
             return None
         slot = entry.interface
         if slot.expires <= self.sim.now:
@@ -87,10 +87,11 @@ class MapCache:
     def __len__(self):
         return len(self.entries())
 
+    def node_count(self):
+        """Allocated trie nodes backing the cache (memory diagnostic)."""
+        return self._fib.node_count()
+
     @property
     def hit_ratio(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
-
-
-_MISS = object()

@@ -99,10 +99,25 @@ class TunnelRouter:
                               src_rloc=str(source), uid=packet.uid)
         self.node.send(outer)
 
+    def _resolution_key(self, eid):
+        """Dedup key for an in-flight resolution: the covering site prefix.
+
+        Asking the mapping system for the authoritative prefix keeps one
+        resolution in flight per *site*, whatever its prefix length — a
+        hardcoded /24 would duplicate Map-Requests for coarser sites and
+        wrongly suppress them for finer ones.  Unregistered EIDs fall back
+        to per-EID (/32) granularity so a doomed resolution for one address
+        never masks a resolvable neighbour.
+        """
+        prefix = self.mapping_system.covering_prefix(eid)
+        if prefix is not None:
+            return prefix
+        return IPv4Prefix(int(eid), 32)
+
     def _maybe_resolve(self, eid):
         if self.mapping_system is None:
             return
-        key = int(eid) >> 8  # one resolution per /24 (site granularity)
+        key = self._resolution_key(eid)
         if key in self._pending:
             return
         self._pending[key] = True

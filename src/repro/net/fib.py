@@ -25,6 +25,11 @@ class FibEntry:
         return f"{self.prefix} -> {getattr(self.interface, 'name', self.interface)}{via}"
 
 
+#: Distinguishes "no default supplied" from an explicit ``default=None``
+#: (callers such as the map-cache want None back on a miss).
+_NO_DEFAULT = object()
+
+
 class _TrieNode:
     __slots__ = ("children", "entry")
 
@@ -74,23 +79,37 @@ class Fib:
         self.insert(FibEntry(IPv4Prefix(prefix), interface, next_hop, metric))
 
     def remove(self, prefix):
-        """Remove the entry for exactly *prefix*; returns it (or None)."""
+        """Remove the entry for exactly *prefix*; returns it (or None).
+
+        Branches left empty by the removal are pruned on the way back up, so
+        repeated install/expire churn (map-cache TTL aging) keeps the trie at
+        O(live entries) nodes instead of accumulating dead chains forever.
+        """
         prefix = IPv4Prefix(prefix)
         node = self._root
+        path = []
         for bit in self._bits(prefix):
-            if node.children[bit] is None:
+            child = node.children[bit]
+            if child is None:
                 return None
-            node = node.children[bit]
+            path.append((node, bit))
+            node = child
         entry, node.entry = node.entry, None
         if entry is not None:
             self._size -= 1
+            for parent, bit in reversed(path):
+                child = parent.children[bit]
+                if child.entry is not None or child.children[0] is not None \
+                        or child.children[1] is not None:
+                    break
+                parent.children[bit] = None
         return entry
 
-    def lookup(self, address, default=None):
+    def lookup(self, address, default=_NO_DEFAULT):
         """Most-specific entry matching *address*; *default* if none.
 
         Raises :class:`NoRouteError` when no entry matches and no default is
-        provided.
+        provided.  An explicit ``default=None`` returns None on a miss.
         """
         value = IPv4Address(address).value
         node = self._root
@@ -104,7 +123,7 @@ class Fib:
                 best = node.entry
         if best is not None:
             return best
-        if default is not None:
+        if default is not _NO_DEFAULT:
             return default
         raise NoRouteError(f"no route to {IPv4Address(address)}")
 
@@ -133,6 +152,19 @@ class Fib:
         walk(self._root)
         collected.sort(key=lambda entry: (entry.prefix.network.value, entry.prefix.length))
         return collected
+
+    def node_count(self):
+        """Number of allocated trie nodes (memory diagnostic; root included)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.children[0] is not None:
+                stack.append(node.children[0])
+            if node.children[1] is not None:
+                stack.append(node.children[1])
+        return count
 
     def clear(self):
         self._root = _TrieNode()

@@ -25,12 +25,16 @@ class Simulator:
     ----------
     seed:
         Master seed for :class:`~repro.sim.rng.RandomStreams`.
+    tracing:
+        When False the tracer starts disabled (sweep runs skip per-event
+        record allocation entirely); it can be re-enabled via
+        ``sim.trace.enable()``.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, tracing=True):
         self.now = 0.0
         self.rng = RandomStreams(seed)
-        self.trace = Tracer()
+        self.trace = Tracer(enabled=tracing)
         self._queue = []
         self._sequence = count()
         self._processed_events = 0

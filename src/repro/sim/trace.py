@@ -26,10 +26,14 @@ class Tracer:
     """Collects :class:`TraceRecord` objects, with optional category filters.
 
     By default everything is recorded.  Call :meth:`enable_only` to restrict
-    recording to a set of ``kind`` prefixes (cheap substring-free check).
+    recording to a set of ``kind`` prefixes (cheap substring-free check), or
+    :meth:`disable` to drop everything — a disabled tracer's :meth:`record`
+    is a single attribute check, which is what lets large parameter sweeps
+    run the data path without paying for per-packet record allocation.
     """
 
-    def __init__(self):
+    def __init__(self, enabled=True):
+        self.enabled = enabled
         self.records = []
         self._enabled_prefixes = None
         self._subscribers = []
@@ -38,12 +42,21 @@ class Tracer:
         """Record only kinds starting with one of *prefixes* (None = all)."""
         self._enabled_prefixes = tuple(prefixes) if prefixes else None
 
+    def disable(self):
+        """Drop all subsequent records (cheapest possible ``record``)."""
+        self.enabled = False
+
+    def enable(self):
+        self.enabled = True
+
     def subscribe(self, callback):
         """Invoke *callback(record)* for every record as it is emitted."""
         self._subscribers.append(callback)
 
     def record(self, time, source, kind, **detail):
         """Record an occurrence; returns the record (or None if filtered)."""
+        if not self.enabled:
+            return None
         if self._enabled_prefixes is not None and not kind.startswith(self._enabled_prefixes):
             return None
         entry = TraceRecord(time=time, source=str(source), kind=kind, detail=detail)

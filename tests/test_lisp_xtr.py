@@ -227,3 +227,57 @@ def test_first_packet_flag_per_flow():
     sim.call_in(0.1, lambda: src.send(udp_packet(src.address, dst.address, 1, 7000)))
     sim.run()
     assert flags == [True, False]
+
+
+# --------------------------------------------------------------------- #
+# Regression: in-flight resolution dedup keys on the covering site prefix
+# (not a hardcoded /24 guess).
+# --------------------------------------------------------------------- #
+
+def _register(system, prefix, rloc="12.1.1.1"):
+    from repro.lisp.mappings import MappingRecord, RlocEntry
+
+    system.registry.register(MappingRecord(prefix, (RlocEntry(rloc),), ttl=60.0))
+
+
+def test_resolution_dedup_coarse_site_prefix():
+    """One site announcing a /16: EIDs in different /24s share one resolution."""
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.5)
+    itr = xtrs[0][0]
+    _register(system, "100.200.0.0/16")
+    itr._maybe_resolve(IPv4Address("100.200.1.9"))
+    itr._maybe_resolve(IPv4Address("100.200.2.9"))  # same /16, different /24
+    assert itr.resolutions_started == 1
+
+
+def test_resolution_dedup_finer_site_prefixes():
+    """Two /26 sites inside one /24: each needs its own resolution."""
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.5)
+    itr = xtrs[0][0]
+    _register(system, "100.200.1.0/26", rloc="12.1.1.1")
+    _register(system, "100.200.1.64/26", rloc="13.1.1.1")
+    itr._maybe_resolve(IPv4Address("100.200.1.9"))    # first /26
+    itr._maybe_resolve(IPv4Address("100.200.1.70"))   # second /26, same /24
+    assert itr.resolutions_started == 2
+
+
+def test_resolution_dedup_unregistered_eids_do_not_mask_each_other():
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.5)
+    itr = xtrs[0][0]
+    itr._maybe_resolve(IPv4Address("100.250.1.1"))
+    itr._maybe_resolve(IPv4Address("100.250.1.2"))  # same /24, both unknown
+    assert itr.resolutions_started == 2
+    # But re-asking for the same unknown EID stays deduped.
+    itr._maybe_resolve(IPv4Address("100.250.1.1"))
+    assert itr.resolutions_started == 2
+
+
+def test_resolution_dedup_clears_after_completion():
+    sim, topology, system, policy, xtrs = make_lisp_world(DropPolicy, resolve_delay=0.01)
+    itr = xtrs[0][0]
+    _register(system, "100.200.0.0/16")
+    itr._maybe_resolve(IPv4Address("100.200.1.9"))
+    sim.run()
+    assert itr.resolutions_started == 1
+    assert itr._pending == {}
+    assert itr.map_cache.peek("100.200.5.5") is not None  # /16 covers it

@@ -126,3 +126,67 @@ def test_inserted_prefixes_are_found_exactly(route_specs):
         fib.add(prefix, "tag")
     assert {entry.prefix for entry in fib.entries()} == expected
     assert len(fib) == len(expected)
+
+
+# --------------------------------------------------------------------- #
+# Regressions: lookup's explicit default, removal pruning, memory growth
+# --------------------------------------------------------------------- #
+
+def test_lookup_explicit_none_default_returns_none():
+    """default=None must mean "return None", not "raise" (sentinel fix)."""
+    fib = make_fib(("10.0.0.0/8", "ten"))
+    assert fib.lookup("11.0.0.1", default=None) is None
+    assert fib.lookup("10.0.0.1", default=None).interface == "ten"
+
+
+def test_remove_prunes_empty_branches():
+    fib = Fib()
+    assert fib.node_count() == 1  # the root
+    fib.add("10.1.2.0/24", "a")
+    grown = fib.node_count()
+    assert grown == 25  # root + one node per prefix bit
+    fib.remove("10.1.2.0/24")
+    assert fib.node_count() == 1
+
+
+def test_remove_keeps_shared_branch_alive():
+    fib = make_fib(("10.0.0.0/8", "coarse"), ("10.1.0.0/16", "fine"))
+    fib.remove("10.1.0.0/16")
+    # The /8's chain survives; only the /16's private tail is pruned.
+    assert fib.node_count() == 9
+    assert fib.lookup("10.1.2.3").interface == "coarse"
+    fib.add("10.1.0.0/16", "again")
+    assert fib.lookup("10.1.2.3").interface == "again"
+
+
+def test_remove_prunes_only_up_to_branching_point():
+    fib = make_fib(("10.1.0.0/16", "left"), ("10.1.128.0/17", "deep"))
+    fib.remove("10.1.128.0/17")
+    assert fib.lookup("10.1.128.1").interface == "left"
+    assert fib.node_count() == 17  # root + the /16 chain only
+
+
+def test_install_expire_churn_is_constant_memory():
+    """N install->remove cycles of disjoint prefixes: O(live), not O(N)."""
+    fib = Fib()
+    for i in range(1024):
+        prefix = IPv4Prefix.containing((i << 8) + (100 << 24), 24)
+        fib.add(prefix, "tag")
+        assert fib.remove(prefix) is not None
+    assert len(fib) == 0
+    assert fib.node_count() == 1
+
+
+@given(st.lists(st.tuples(addresses, st.integers(min_value=0, max_value=32)),
+                min_size=1, max_size=20))
+def test_remove_all_returns_to_root_only(route_specs):
+    fib = Fib()
+    prefixes = set()
+    for value, length in route_specs:
+        prefix = IPv4Prefix.containing(value, length)
+        prefixes.add(prefix)
+        fib.add(prefix, "tag")
+    for prefix in prefixes:
+        assert fib.remove(prefix) is not None
+    assert len(fib) == 0
+    assert fib.node_count() == 1

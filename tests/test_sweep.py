@@ -1,0 +1,140 @@
+"""Tests for the parameter-sweep engine: expansion, determinism, artifacts."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.sweep import (PRESETS, SweepGrid, aggregate_cells,
+                                     expand_grid, payload_digest, run_cell,
+                                     run_sweep)
+
+TINY = SweepGrid(name="tiny", control_planes=("pce", "alt"), site_counts=(3,),
+                 seeds=(1, 2), zipf_values=(1.0,), num_flows=8,
+                 arrival_rate=10.0)
+
+
+def test_expand_grid_cross_product_and_order():
+    grid = SweepGrid(control_planes=("pce", "alt"), site_counts=(3, 4),
+                     seeds=(1, 2), zipf_values=(0.0, 1.0))
+    cells = expand_grid(grid)
+    assert len(cells) == 2 * 2 * 2 * 2
+    assert [cell.index for cell in cells] == list(range(16))
+    assert len({cell.cell_id for cell in cells}) == 16
+    # Nesting order: control plane outermost, seed innermost.
+    assert cells[0].cell_id == "pce-sites3-zipf0-seed1"
+    assert cells[1].cell_id == "pce-sites3-zipf0-seed2"
+    assert cells[-1].cell_id == "alt-sites4-zipf1-seed2"
+
+
+def test_expand_grid_rejects_unknown_control_plane():
+    with pytest.raises(ValueError):
+        expand_grid(SweepGrid(control_planes=("bogus",)))
+
+
+def test_expand_grid_cells_trace_disabled():
+    for cell in expand_grid(TINY):
+        assert cell.scenario.tracing is False
+
+
+def test_run_cell_produces_metrics():
+    cell = expand_grid(TINY)[0]
+    result = run_cell(cell)
+    assert result["cell_id"] == cell.cell_id
+    assert result["metrics"]["flows"] == 8
+    assert result["metrics"]["packets_sent"] > 0
+    assert result["metrics"]["dns_latency"]["count"] > 0
+    assert result["metrics"]["sim_events"] > 0
+
+
+def test_sweep_deterministic_across_runs_and_workers():
+    first = run_sweep(TINY, workers=1)
+    again = run_sweep(TINY, workers=1)
+    fanned = run_sweep(TINY, workers=2)
+    assert payload_digest(first) == payload_digest(again)
+    assert payload_digest(first) == payload_digest(fanned)
+
+
+def test_sweep_artifacts(tmp_path):
+    json_path = tmp_path / "sweep.json"
+    csv_path = tmp_path / "sweep.csv"
+    payload = run_sweep(TINY, workers=1, json_path=str(json_path),
+                        csv_path=str(csv_path))
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["schema"] == "repro.sweep/v1"
+    assert on_disk["num_cells"] == len(payload["cells"]) == 4
+    assert payload_digest(on_disk) == payload_digest(payload)
+    with open(csv_path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    assert {row["cell_id"] for row in rows} \
+        == {cell["cell_id"] for cell in payload["cells"]}
+
+
+def test_aggregates_group_seeds():
+    payload = run_sweep(TINY, workers=1)
+    aggregates = payload["aggregates"]
+    assert len(aggregates) == 2  # one per control plane
+    for aggregate in aggregates:
+        assert aggregate["cells"] == 2
+        assert aggregate["seeds"] == [1, 2]
+    by_system = {a["control_plane"]: a for a in aggregates}
+    # The PCE control plane pushes mappings, so it never drops first packets;
+    # the reactive ALT baseline with the drop policy does (paper E1 shape).
+    assert by_system["pce"]["first_packet_drops"] == 0
+    assert by_system["alt"]["first_packet_drops"] > 0
+
+
+def test_scale_preset_reaches_production_scale():
+    grid = PRESETS["scale"]
+    cells = expand_grid(grid)
+    assert len(cells) >= 24
+    assert max(cell.scenario.num_sites for cell in cells) >= 100
+    assert max(grid.zipf_values) > 1.0
+
+
+def test_large_cell_runs():
+    """One >=100-site Zipf-skewed cell builds and completes."""
+    grid = SweepGrid(control_planes=("alt",), site_counts=(110,), seeds=(5,),
+                     zipf_values=(1.2,), num_flows=20, arrival_rate=40.0,
+                     num_providers=8)
+    result = run_cell(expand_grid(grid)[0])
+    assert result["num_sites"] == 110
+    assert result["metrics"]["flows"] == 20
+    assert result["metrics"]["resolutions_started"] > 0
+
+
+def test_cli_sweep_command(tmp_path, capsys):
+    json_path = tmp_path / "cli.json"
+    code = main(["sweep", "--preset", "smoke", "--workers", "1",
+                 "--sites", "3", "--seeds", "1", "--flows", "6",
+                 "--json", str(json_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sweep 'smoke'" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["num_cells"] == 2  # 2 control planes x 1 site x 1 seed
+    assert payload["grid"]["num_flows"] == 6
+
+
+def test_cli_sweep_unknown_preset(capsys):
+    assert main(["sweep", "--preset", "nope"]) == 1
+    assert "unknown preset" in capsys.readouterr().out
+
+
+def test_aggregate_cells_sorted_and_stable():
+    payload = run_sweep(TINY, workers=1)
+    reordered = list(reversed(payload["cells"]))
+    assert aggregate_cells(reordered) == payload["aggregates"]
+
+
+def test_grid_overrides_may_shadow_axis_fields():
+    """Overrides win over axis-derived kwargs instead of raising TypeError."""
+    grid = SweepGrid(control_planes=("alt",), site_counts=(4,), seeds=(1,),
+                     scenario_overrides={"num_sites": 5, "miss_policy": "queue"},
+                     workload_overrides={"num_flows": 3})
+    cell = expand_grid(grid)[0]
+    assert cell.scenario.num_sites == 5
+    assert cell.scenario.miss_policy == "queue"
+    assert cell.workload.num_flows == 3

@@ -1,0 +1,93 @@
+"""Benchmarks for the worldbuild layer: route build and world reuse.
+
+BENCH tracks the *build* path from this PR on: provider-mesh route
+installation through the memoized :class:`~repro.net.routing.RoutingPlan`
+at 60/120/500 sites, full scenario builds, and the checkpoint-restore
+world reuse that the sweep workers lean on.  The reuse benchmark enforces
+the sweep engine's contract: restoring a cached world must be at least 5x
+faster than building it (observed: >30x at 120 sites).
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.worldbuild import WorldBuilder, build_world
+from repro.net.routing import RoutingPlan, install_mesh_routes
+from repro.net.topology import build_topology
+from repro.sim import Simulator
+
+SITE_COUNTS = (60, 120, 500)
+
+
+def _build_topology(sites):
+    sim = Simulator(seed=11, tracing=False)
+    return build_topology(sim, num_sites=sites, num_providers=8)
+
+
+@pytest.mark.parametrize("sites", SITE_COUNTS)
+def test_bench_topology_build(benchmark, sites):
+    """Full topology build (nodes, links, plan-based route install)."""
+    topology = benchmark.pedantic(_build_topology, args=(sites,),
+                                  rounds=1, iterations=1)
+    assert len(topology.sites) == sites
+    total = sum(len(p.fib) for p in topology.providers)
+    print(f"\n  {sites} sites: {total} provider FIB entries, "
+          f"{len(topology.attachments)} attachments")
+    assert total > 0
+
+
+@pytest.mark.parametrize("sites", SITE_COUNTS)
+def test_bench_route_install(benchmark, sites):
+    """Plan-based attachment install vs the from-scratch reference."""
+    topology = _build_topology(sites)
+    providers = topology.providers
+    attachments = topology.attachments
+
+    started = time.perf_counter()
+    install_mesh_routes(providers, attachments)  # fresh Dijkstra every call
+    full_elapsed = time.perf_counter() - started
+
+    plan = topology.routing_plan()
+    benchmark.pedantic(plan.install, args=(attachments,),
+                       rounds=1, iterations=1)
+    print(f"\n  {sites} sites: from-scratch reference {full_elapsed:.4f}s "
+          f"for {len(attachments)} attachments")
+
+
+@pytest.mark.parametrize("sites", SITE_COUNTS)
+def test_bench_world_build(benchmark, sites):
+    """Scenario (world) build through the worldbuild layer."""
+    config = ScenarioConfig(control_plane="pce", num_sites=sites,
+                            num_providers=8, tracing=False)
+    scenario = benchmark.pedantic(build_world, args=(config,),
+                                  rounds=1, iterations=1)
+    assert scenario.world_checkpoint is not None
+
+
+def test_bench_world_reuse_speedup(benchmark):
+    """Cache-restore must beat a fresh 120-site build by >=5x (sweep contract)."""
+    config = ScenarioConfig(control_plane="pce", num_sites=120,
+                            num_providers=8, tracing=False)
+    started = time.perf_counter()
+    build_world(config)
+    fresh_elapsed = time.perf_counter() - started
+
+    builder = WorldBuilder()
+    builder.scenario_for(config)  # warm the cache (miss + checkpoint)
+
+    started = time.perf_counter()
+    rounds = 3
+    for _ in range(rounds):
+        builder.scenario_for(config)
+    reuse_elapsed = (time.perf_counter() - started) / rounds
+    assert builder.stats.hits == rounds
+
+    benchmark.pedantic(builder.scenario_for, args=(config,),
+                       rounds=1, iterations=1)
+    speedup = fresh_elapsed / reuse_elapsed
+    print(f"\n  fresh build {fresh_elapsed:.3f}s, reuse {reuse_elapsed:.4f}s "
+          f"-> {speedup:.0f}x")
+    assert speedup >= 5.0, (
+        f"world reuse only {speedup:.1f}x faster than a fresh build")

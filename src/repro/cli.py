@@ -15,18 +15,24 @@ Parameter sweeps (``repro sweep``)
 ----------------------------------
 
 ``sweep`` expands a declarative grid (control plane x site count x seed x
-Zipf skew) into scenario/workload cells, fans them out across worker
-processes, and writes aggregated JSON/CSV artifacts::
+Zipf skew x flow-size distribution x RLOC-failure fraction) into
+scenario/workload cells, fans them out across a persistent worker pool
+whose workers cache built worlds (cells sharing a scenario config reuse
+one topology + routing plan), streams per-cell results to a JSONL
+artifact, and writes aggregated JSON/CSV artifacts::
 
     python -m repro sweep                       # "smoke" preset, 1 worker
     python -m repro sweep --preset scale --workers 4 \\
-        --json sweep.json --csv sweep.csv       # 24 cells incl. 120 sites
-    python -m repro sweep --preset baselines --sites 4 16 --seeds 1 2 3
+        --json sweep.json --csv sweep.csv       # 48 cells incl. 120 sites
+    python -m repro sweep --preset failover     # RLOC failures mid-workload
+    python -m repro sweep --preset baselines --sites 4 16 --seeds 1 2 3 \\
+        --size-dists constant pareto
 
 Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
-(``--control-planes/--sites/--seeds/--zipf/--flows/--mode``) override the
-chosen preset's axes.  Aggregates are deterministic: the same grid and
-seeds produce byte-identical JSON for any ``--workers`` value.
+(``--control-planes/--sites/--seeds/--zipf/--size-dists/--fail-fractions/
+--flows/--mode``) override the chosen preset's axes.  Aggregates are
+deterministic: the same grid and seeds produce byte-identical JSON for any
+``--workers`` value (world-cache counters are reported separately).
 """
 
 import argparse
@@ -138,10 +144,19 @@ def build_parser():
                        help="worker processes for cell fan-out")
     sweep.add_argument("--json", default=None, help="write full payload here")
     sweep.add_argument("--csv", default=None, help="write per-cell CSV here")
+    sweep.add_argument("--jsonl", default=None,
+                       help="stream per-cell results here (default: derived "
+                            "from --json, else sweep-<preset>.cells.jsonl)")
+    sweep.add_argument("--max-worlds", type=int, default=None,
+                       help="per-worker world-cache capacity")
     sweep.add_argument("--control-planes", nargs="+", default=None)
     sweep.add_argument("--sites", nargs="+", type=int, default=None)
     sweep.add_argument("--seeds", nargs="+", type=int, default=None)
     sweep.add_argument("--zipf", nargs="+", type=float, default=None)
+    sweep.add_argument("--size-dists", nargs="+", default=None,
+                       help="flow-size distributions (constant/pareto/lognormal)")
+    sweep.add_argument("--fail-fractions", nargs="+", type=float, default=None,
+                       help="fractions of sites whose primary RLOC fails")
     sweep.add_argument("--flows", type=int, default=None)
     sweep.add_argument("--mode", choices=("udp", "tcp"), default=None)
     return parser
@@ -150,13 +165,16 @@ def build_parser():
 def _run_sweep_command(args):
     from dataclasses import replace
 
-    from repro.experiments.sweep import PRESETS, run_sweep
+    from repro.experiments.sweep import DEFAULT_MAX_WORLDS, PRESETS, run_sweep
 
     if args.preset not in PRESETS:
         print(f"unknown preset {args.preset!r}; available: "
               f"{', '.join(sorted(PRESETS))}")
         return 1
     grid = PRESETS[args.preset]
+    if args.max_worlds is not None and args.max_worlds < 1:
+        print(f"sweep error: --max-worlds must be >= 1, got {args.max_worlds}")
+        return 1
     overrides = {}
     if args.control_planes is not None:
         overrides["control_planes"] = tuple(args.control_planes)
@@ -166,6 +184,10 @@ def _run_sweep_command(args):
         overrides["seeds"] = tuple(args.seeds)
     if args.zipf is not None:
         overrides["zipf_values"] = tuple(args.zipf)
+    if args.size_dists is not None:
+        overrides["size_dists"] = tuple(args.size_dists)
+    if args.fail_fractions is not None:
+        overrides["fail_fractions"] = tuple(args.fail_fractions)
     if args.flows is not None:
         overrides["num_flows"] = args.flows
     if args.mode is not None:
@@ -173,24 +195,40 @@ def _run_sweep_command(args):
     if overrides:
         grid = replace(grid, **overrides)
 
+    jsonl_path = args.jsonl
+    if jsonl_path is None:
+        if args.json is not None:
+            base = args.json[:-5] if args.json.endswith(".json") else args.json
+            jsonl_path = f"{base}.cells.jsonl"
+        else:
+            jsonl_path = f"sweep-{grid.name}.cells.jsonl"
+
     try:
-        payload = run_sweep(grid, workers=max(1, args.workers),
-                            json_path=args.json, csv_path=args.csv)
+        payload = run_sweep(
+            grid, workers=max(1, args.workers), json_path=args.json,
+            csv_path=args.csv, jsonl_path=jsonl_path,
+            max_worlds=(args.max_worlds if args.max_worlds is not None
+                        else DEFAULT_MAX_WORLDS))
     except ValueError as error:
         print(f"sweep error: {error}")
         return 1
-    rows = [(a["control_plane"], a["num_sites"], a["zipf_s"], a["cells"],
+    rows = [(a["control_plane"], a["num_sites"], a["zipf_s"], a["size_dist"],
+             f"{a['fail_fraction']:g}", a["cells"],
              a["flows"], a["first_packet_drops"], a["packets_lost"],
              "-" if a["cache_hit_ratio_mean"] is None
              else f"{a['cache_hit_ratio_mean']:.3f}",
              "-" if a["setup_p95_mean"] is None
              else f"{a['setup_p95_mean'] * 1000:.2f} ms")
             for a in payload["aggregates"]]
-    print(format_table(("system", "sites", "zipf", "cells", "flows",
-                        "first_pkt_drops", "pkts_lost", "hit_ratio",
+    print(format_table(("system", "sites", "zipf", "sizes", "fail", "cells",
+                        "flows", "first_pkt_drops", "pkts_lost", "hit_ratio",
                         "setup_p95"), rows,
                        title=f"sweep '{grid.name}': {payload['num_cells']} cells"))
-    for path, label in ((args.json, "json"), (args.csv, "csv")):
+    cache = payload["world_cache"]
+    print(f"world cache: {cache['hits']} hits / {cache['builds']} builds "
+          f"({cache['misses']} misses, {cache['bypasses']} bypasses)")
+    for path, label in ((args.json, "json"), (args.csv, "csv"),
+                        (jsonl_path, "jsonl")):
         if path is not None:
             print(f"{label} written to {path}")
     return 0

@@ -248,6 +248,36 @@ class PceControlPlane:
         reverses = self.reverse_announcements * 2  # siblings + PCE copy lower bound
         return pushes + encaps + reverses
 
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self):
+        return {
+            "counters": (self.reverse_announcements, self.te_moves_applied),
+            "egress": {index: dict(assignment)
+                       for index, assignment in self.egress_assignments.items()},
+            "pending_egress": dict(self._pending_egress_choice),
+            "registry": self.registry.snapshot_state(),
+            "miss_policy": self.miss_policy.snapshot_state(),
+            "pces": {index: pce.snapshot_state()
+                     for index, pce in self.pces.items()},
+            "ircs": {index: irc.snapshot_state()
+                     for index, irc in self.ircs.items()},
+        }
+
+    def restore_state(self, state):
+        self.reverse_announcements, self.te_moves_applied = state["counters"]
+        self.egress_assignments = {index: dict(assignment)
+                                   for index, assignment in state["egress"].items()}
+        self._pending_egress_choice = dict(state["pending_egress"])
+        self.registry.restore_state(state["registry"])
+        self.miss_policy.restore_state(state["miss_policy"])
+        for index, pce_state in state["pces"].items():
+            self.pces[index].restore_state(pce_state)
+        for index, irc_state in state["ircs"].items():
+            self.ircs[index].restore_state(irc_state)
+
 
 def deploy_pce_control_plane(sim, topology, dns_system, **kwargs):
     """Convenience constructor mirroring :func:`repro.lisp.deploy.deploy_lisp`."""

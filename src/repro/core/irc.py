@@ -152,3 +152,14 @@ class IrcEngine:
     def snapshot(self):
         """Per-locator view for reporting: (delay_ewma, bytes_in, bytes_out)."""
         return [(est.delay_ewma, est.bytes_in, est.bytes_out) for est in self.estimates]
+
+    def snapshot_state(self):
+        return (self.measurement_rounds, self._running,
+                [(est.delay_ewma, est.bytes_in, est.bytes_out,
+                  est.pledged_in, est.pledged_out) for est in self.estimates])
+
+    def restore_state(self, state):
+        self.measurement_rounds, self._running, estimates = state
+        for est, values in zip(self.estimates, estimates):
+            (est.delay_ewma, est.bytes_in, est.bytes_out,
+             est.pledged_in, est.pledged_out) = values

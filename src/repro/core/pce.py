@@ -54,6 +54,23 @@ class PceStats:
         #: (time, qname, client) for every Step-1 IPC notification.
         self.ipc_timeline = []
 
+    _counter_attrs = ("queries_observed", "replies_observed",
+                      "ipc_notifications", "replies_encapsulated",
+                      "port_p_received", "mappings_pushed", "push_messages",
+                      "push_bytes", "refresh_pushes",
+                      "reverse_mappings_learned")
+
+    def snapshot_state(self):
+        counters = tuple(getattr(self, name) for name in self._counter_attrs)
+        return (counters, list(self.push_timeline), list(self.ipc_timeline))
+
+    def restore_state(self, state):
+        counters, push_timeline, ipc_timeline = state
+        for name, value in zip(self._counter_attrs, counters):
+            setattr(self, name, value)
+        self.push_timeline = list(push_timeline)
+        self.ipc_timeline = list(ipc_timeline)
+
 
 class Pce:
     """A site's PCE: DNS-path interception plus mapping distribution."""
@@ -311,3 +328,18 @@ class Pce:
         self.mapping_db[mapping.eid_prefix] = mapping
         self.sim.trace.record(self.sim.now, self.node.name, "pce.reverse-learned",
                               prefix=str(mapping.eid_prefix))
+
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self):
+        return (self.stats.snapshot_state(), dict(self.pending_ingress),
+                dict(self.mapping_db), dict(self.peer_pces))
+
+    def restore_state(self, state):
+        stats_state, pending, mapping_db, peer_pces = state
+        self.stats.restore_state(stats_state)
+        self.pending_ingress = dict(pending)
+        self.mapping_db = dict(mapping_db)
+        self.peer_pces = dict(peer_pces)

@@ -122,3 +122,14 @@ class TtlCache:
     def hit_ratio(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot_state(self):
+        return (dict(self._entries), self._next_compact, self.hits,
+                self.misses, self.expirations, self.insertions,
+                self.rejected_puts, self.evictions)
+
+    def restore_state(self, state):
+        (entries, self._next_compact, self.hits, self.misses,
+         self.expirations, self.insertions, self.rejected_puts,
+         self.evictions) = state
+        self._entries = dict(entries)

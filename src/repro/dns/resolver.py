@@ -106,6 +106,25 @@ class RecursiveResolver:
         self.node.send_udp(src=packet.ip.dst, dst=packet.ip.src, sport=DNS_PORT,
                            dport=packet.udp.sport, payload=reply.encode())
 
+    def snapshot_state(self):
+        return {
+            "answer": self.answer_cache.snapshot_state(),
+            "negative": self.negative_cache.snapshot_state(),
+            "referral": self.referral_cache.snapshot_state(),
+            "listeners": list(self.query_listeners),
+            "counters": (self.recursive_queries, self.upstream_queries,
+                         self.coalesced_queries, self._ident),
+        }
+
+    def restore_state(self, state):
+        self.answer_cache.restore_state(state["answer"])
+        self.negative_cache.restore_state(state["negative"])
+        self.referral_cache.restore_state(state["referral"])
+        self.query_listeners = list(state["listeners"])
+        (self.recursive_queries, self.upstream_queries,
+         self.coalesced_queries, self._ident) = state["counters"]
+        self._in_flight.clear()
+
     # ------------------------------------------------------------------ #
     # Iterative resolution
     # ------------------------------------------------------------------ #

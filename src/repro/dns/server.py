@@ -44,6 +44,12 @@ class AuthoritativeServer:
         else:
             respond()
 
+    def snapshot_state(self):
+        return self.queries_served
+
+    def restore_state(self, state):
+        self.queries_served = state
+
     def answer(self, query):
         """Build the authoritative reply for *query* (pure function of zone)."""
         result = self.zone.lookup(query.question.qname, query.question.qtype)

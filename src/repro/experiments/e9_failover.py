@@ -40,6 +40,23 @@ FLOW_END = 12.0
 PACKET_INTERVAL = 0.05
 
 
+def schedule_access_failure(sim, site, locator_index, fail_at, repair_at):
+    """Fail, then repair, both directions of one of *site*'s access links.
+
+    The reusable core of this experiment's failure injection: the sweep
+    engine schedules the same fail/repair pair when a cell carries a
+    ``fail_fraction`` (RLOC failure as a sweep axis).
+    """
+    links = site.access_links[locator_index]
+
+    def set_link(up):
+        links["uplink"].up = up
+        links["downlink"].up = up
+
+    sim.call_at(fail_at, set_link, False)
+    sim.call_at(repair_at, set_link, True)
+
+
 def run_e9(seed=29, probe_period=0.4):
     variants = (
         ("pce+probing", dict(enable_probing=True, probe_period=probe_period)),
@@ -70,15 +87,8 @@ def _run_variant(label, overrides, seed):
             yield sim.timeout(PACKET_INTERVAL)
 
     # Fail and repair the destination's primary access link (both directions).
-    links = site_d.access_links[0]
-
-    def set_link(up):
-        links["uplink"].up = up
-        links["downlink"].up = up
-
     sim.process(sender())
-    sim.call_in(FAIL_AT, set_link, False)
-    sim.call_in(REPAIR_AT, set_link, True)
+    schedule_access_failure(sim, site_d, 0, FAIL_AT, REPAIR_AT)
     sim.run(until=FLOW_END + 2.0)
 
     arrivals = sink.arrival_times

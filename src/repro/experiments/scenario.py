@@ -89,6 +89,9 @@ class Scenario:
     tcp_stacks: dict = field(default_factory=dict)
     udp_sinks: dict = field(default_factory=dict)
     stubs: dict = field(default_factory=dict)
+    #: Post-build component checkpoint (set by repro.experiments.worldbuild;
+    #: None when the world cannot be reused).
+    world_checkpoint: object = None
 
     @property
     def name(self):
@@ -119,6 +122,49 @@ class Scenario:
         if total == 0:
             return [0.0] * len(counts)
         return [count / total for count in counts]
+
+    def stateful_components(self):
+        """Every object holding run-mutable state, for world checkpointing.
+
+        The worldbuild layer snapshots each yielded component right after
+        the build and restores them before a reuse; anything a workload run
+        can mutate must be reachable from here (see
+        :mod:`repro.experiments.worldbuild`).  Per-host stub resolvers are
+        not components: they are created lazily per run and dropped on
+        restore (:attr:`stubs` is cleared).
+        """
+        sim = self.sim
+        yield sim
+        yield sim.rng
+        yield sim.trace
+        seen_links = set()
+        for node in self.topology.all_nodes():
+            yield node
+            for iface in node.interfaces.values():
+                link = iface.link
+                if link is not None and id(link) not in seen_links:
+                    seen_links.add(id(link))
+                    yield link
+        for stack in self.tcp_stacks.values():
+            yield stack
+        for sink in self.udp_sinks.values():
+            yield sink
+        for xtr_list in self.xtrs_by_site.values():
+            for xtr in xtr_list:
+                yield xtr
+        dns = self.dns
+        yield dns.root_server
+        yield dns.tld_server
+        for server in dns.level_servers:
+            yield server
+        for resolver in dns.resolvers.values():
+            yield resolver
+        if self.control_plane is not None:
+            # Covers its PCEs, IRC engines, registry and miss policy.
+            yield self.control_plane
+        if self.mapping_system is not None:
+            yield self.mapping_system
+            yield self.miss_policy
 
 
 def _make_miss_policy(sim, config):

@@ -2,18 +2,35 @@
 
 The experiment modules (E1-E9) each run a handful of hand-picked worlds.
 This module is the scaling counterpart: a :class:`SweepGrid` declares axes
-(control plane x site count x seed x workload skew), :func:`expand_grid`
-turns it into concrete :class:`SweepCell` objects — one
+(control plane x site count x seed x workload skew x flow-size distribution
+x RLOC-failure fraction), :func:`expand_grid` turns it into concrete
+:class:`SweepCell` objects — one
 :class:`~repro.experiments.scenario.ScenarioConfig` /
 :class:`~repro.experiments.workload.WorkloadConfig` pair per cell — and
 :func:`run_sweep` fans the cells out across worker processes.
 
-Determinism: each worker process builds its own
-:class:`~repro.sim.Simulator` from the cell's seed, so a cell's metrics
-depend only on its configs; results are ordered by cell index (not by
-completion), so the aggregate artifact is byte-identical across runs and
-across ``workers=1`` vs ``workers=N``.  Nothing wall-clock-dependent is
-written into the JSON/CSV artifacts.
+Worlds are built through :mod:`repro.experiments.worldbuild`: the worker
+pool is *persistent* and every worker keeps a keyed
+:class:`~repro.experiments.worldbuild.WorldBuilder` cache, so cells sharing
+a scenario config (same control plane, site count, seed, ...) reuse one
+built world — topology, routing plan, DNS, control-plane deployment — and
+only the mutable state (caches, FIB dynamic entries, tracer, RNG streams)
+is reset between cells.  Cells are dispatched to workers *grouped by world
+key* so reuse actually happens.  Cache hit/miss/bypass counts surface in
+the sweep outcome under ``world_cache``.
+
+Cell results stream to a JSONL artifact as they complete (one JSON object
+per line, in completion order, each tagged with its world-cache outcome)
+instead of accumulating a single in-memory payload; aggregation reads the
+stream back and orders by cell index, so aggregates and the JSON artifact
+are byte-identical for ``workers=1`` vs ``workers=N``.
+
+Determinism: each cell's world is either freshly built or restored to the
+post-build checkpoint, so a cell's metrics depend only on its configs —
+never on which cells ran before it in the same worker.  Nothing
+wall-clock-dependent or scheduling-dependent is written into the JSON/CSV
+artifacts (the per-cell world-cache outcome lives only in the JSONL lines
+and the non-digested ``world_cache`` summary).
 
 Sweep cells run with tracing disabled (``ScenarioConfig.tracing=False``):
 metrics come from counters and flow records, and skipping per-packet trace
@@ -23,7 +40,8 @@ Usage::
 
     from repro.experiments.sweep import PRESETS, run_sweep
     outcome = run_sweep(PRESETS["scale"], workers=4,
-                        json_path="sweep.json", csv_path="sweep.csv")
+                        json_path="sweep.json", csv_path="sweep.csv",
+                        jsonl_path="sweep.cells.jsonl")
 
 or from the command line: ``python -m repro sweep --preset scale --workers 4``.
 """
@@ -31,25 +49,42 @@ or from the command line: ``python -m repro sweep --preset scale --workers 4``.
 import csv
 import json
 import multiprocessing
+import os
+import tempfile
 from dataclasses import dataclass, field, fields
 
-from repro.experiments.scenario import CONTROL_PLANES, ScenarioConfig, build_scenario
+from repro.experiments.e9_failover import schedule_access_failure
+from repro.experiments.scenario import CONTROL_PLANES, ScenarioConfig
 from repro.experiments.workload import (WorkloadConfig, classify_first_packet,
                                         run_workload)
-from repro.metrics.stats import mean, percentile, summarize
+from repro.experiments.worldbuild import (WorldBuilder, WorldCacheStats,
+                                          build_world, world_key)
+from repro.metrics.stats import mean, summarize
+from repro.traffic.popularity import SIZE_DISTRIBUTIONS
 
 #: Schema tag written into every JSON artifact.
-SCHEMA = "repro.sweep/v1"
+SCHEMA = "repro.sweep/v2"
+
+#: Default per-worker world-cache capacity.
+DEFAULT_MAX_WORLDS = 4
 
 
 @dataclass(frozen=True)
 class SweepGrid:
     """Declarative axes of a sweep plus shared scenario/workload knobs.
 
-    The cross product ``control_planes x site_counts x zipf_values x seeds``
-    defines the cells, in that nesting order.  ``scenario_overrides`` and
-    ``workload_overrides`` apply to every cell (any
-    :class:`ScenarioConfig` / :class:`WorkloadConfig` field).
+    The cross product ``control_planes x site_counts x zipf_values x
+    size_dists x fail_fractions x seeds`` defines the cells, in that
+    nesting order.  ``scenario_overrides`` and ``workload_overrides`` apply
+    to every cell (any :class:`ScenarioConfig` / :class:`WorkloadConfig`
+    field).
+
+    ``size_dists`` selects per-cell flow-size distributions (heavy-tailed
+    bounded Pareto / lognormal around ``packets_per_flow``; see
+    :class:`~repro.traffic.popularity.FlowSizeSampler`).  ``fail_fractions``
+    injects the E9 RLOC-failure machinery as an axis: a fraction of sites
+    lose their primary access link at ``fail_at`` and regain it at
+    ``repair_at`` (simulated seconds after the workload starts).
     """
 
     name: str = "sweep"
@@ -57,6 +92,10 @@ class SweepGrid:
     site_counts: tuple = (4,)
     seeds: tuple = (1,)
     zipf_values: tuple = (1.0,)
+    size_dists: tuple = ("constant",)
+    fail_fractions: tuple = (0.0,)
+    fail_at: float = 1.0
+    repair_at: float = 3.0
     num_providers: int = 4
     hosts_per_site: int = 2
     num_flows: int = 40
@@ -77,6 +116,15 @@ class SweepGrid:
 
 
 @dataclass(frozen=True)
+class FailureConfig:
+    """RLOC failure injected into a cell (reuses the E9 machinery)."""
+
+    fraction: float
+    fail_at: float = 1.0
+    repair_at: float = 3.0
+
+
+@dataclass(frozen=True)
 class SweepCell:
     """One point of the grid: everything a worker needs to run it."""
 
@@ -84,6 +132,7 @@ class SweepCell:
     cell_id: str
     scenario: ScenarioConfig
     workload: WorkloadConfig
+    failure: FailureConfig = None
 
 
 def expand_grid(grid):
@@ -91,50 +140,100 @@ def expand_grid(grid):
     for control_plane in grid.control_planes:
         if control_plane not in CONTROL_PLANES:
             raise ValueError(f"unknown control plane {control_plane!r}")
+    for size_dist in grid.size_dists:
+        if size_dist not in SIZE_DISTRIBUTIONS:
+            raise ValueError(f"unknown size distribution {size_dist!r}")
+    for fraction in grid.fail_fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fail fraction {fraction!r} outside [0, 1]")
     cells = []
     for control_plane in grid.control_planes:
         for num_sites in grid.site_counts:
             for zipf_s in grid.zipf_values:
-                for seed in grid.seeds:
-                    # Overrides win over axis-derived values (so a grid can
-                    # e.g. force miss_policy or hosts_per_site per cell).
-                    scenario_kwargs = dict(
-                        control_plane=control_plane,
-                        num_sites=num_sites,
-                        num_providers=grid.num_providers,
-                        hosts_per_site=grid.hosts_per_site,
-                        seed=seed,
-                        mapping_ttl=grid.mapping_ttl,
-                        tracing=False)
-                    scenario_kwargs.update(grid.scenario_overrides)
-                    scenario = ScenarioConfig(**scenario_kwargs)
-                    workload_kwargs = dict(
-                        num_flows=grid.num_flows,
-                        arrival_rate=grid.arrival_rate,
-                        zipf_s=zipf_s,
-                        mode=grid.mode,
-                        packets_per_flow=grid.packets_per_flow)
-                    workload_kwargs.update(grid.workload_overrides)
-                    workload = WorkloadConfig(**workload_kwargs)
-                    cell_id = (f"{control_plane}-sites{num_sites}"
-                               f"-zipf{zipf_s:g}-seed{seed}")
-                    cells.append(SweepCell(index=len(cells), cell_id=cell_id,
-                                           scenario=scenario, workload=workload))
+                for size_dist in grid.size_dists:
+                    for fraction in grid.fail_fractions:
+                        for seed in grid.seeds:
+                            cells.append(_make_cell(
+                                grid, len(cells), control_plane, num_sites,
+                                zipf_s, size_dist, fraction, seed))
     return cells
+
+
+def _make_cell(grid, index, control_plane, num_sites, zipf_s, size_dist,
+               fraction, seed):
+    # Overrides win over axis-derived values (so a grid can e.g. force
+    # miss_policy or hosts_per_site per cell).
+    scenario_kwargs = dict(
+        control_plane=control_plane,
+        num_sites=num_sites,
+        num_providers=grid.num_providers,
+        hosts_per_site=grid.hosts_per_site,
+        seed=seed,
+        mapping_ttl=grid.mapping_ttl,
+        tracing=False)
+    scenario_kwargs.update(grid.scenario_overrides)
+    scenario = ScenarioConfig(**scenario_kwargs)
+    workload_kwargs = dict(
+        num_flows=grid.num_flows,
+        arrival_rate=grid.arrival_rate,
+        zipf_s=zipf_s,
+        mode=grid.mode,
+        size_dist=size_dist,
+        packets_per_flow=grid.packets_per_flow)
+    workload_kwargs.update(grid.workload_overrides)
+    workload = WorkloadConfig(**workload_kwargs)
+    failure = None
+    if fraction > 0.0:
+        failure = FailureConfig(fraction=fraction, fail_at=grid.fail_at,
+                                repair_at=grid.repair_at)
+    cell_id = f"{control_plane}-sites{num_sites}-zipf{zipf_s:g}"
+    if size_dist != "constant":
+        cell_id += f"-size{size_dist}"
+    if fraction > 0.0:
+        cell_id += f"-fail{fraction:g}"
+    cell_id += f"-seed{seed}"
+    return SweepCell(index=index, cell_id=cell_id, scenario=scenario,
+                     workload=workload, failure=failure)
 
 
 # --------------------------------------------------------------------- #
 # Per-cell execution
 # --------------------------------------------------------------------- #
 
-def run_cell(cell):
-    """Build the cell's world, run its workload, and measure it.
+def _apply_failures(scenario, failure):
+    """Schedule the cell's RLOC failures (E9 machinery as a sweep axis).
 
-    Returns a JSON-ready dict; everything in it is derived from the
-    simulation alone (no wall-clock values), keeping sweep artifacts
-    reproducible.
+    Site choice draws from the dedicated ``failover`` RNG stream, so it is
+    a pure function of the scenario seed — independent of the workload
+    stream and of world reuse (restores drop the stream, and it re-derives
+    identically).
     """
-    scenario = build_scenario(cell.scenario)
+    if failure is None or failure.fraction <= 0.0:
+        return
+    sim = scenario.sim
+    sites = scenario.topology.sites
+    count = min(len(sites), max(1, round(failure.fraction * len(sites))))
+    rng = sim.rng.stream("failover")
+    for index in sorted(rng.sample(range(len(sites)), count)):
+        schedule_access_failure(sim, sites[index], 0,
+                                sim.now + failure.fail_at,
+                                sim.now + failure.repair_at)
+
+
+def run_cell(cell, builder=None):
+    """Build (or reuse) the cell's world, run its workload, and measure it.
+
+    With a :class:`~repro.experiments.worldbuild.WorldBuilder`, the world
+    is served from the builder's keyed cache; without one, it is built
+    fresh through the same worldbuild path.  Returns a JSON-ready dict;
+    everything in it is derived from the simulation alone (no wall-clock
+    values, no cache outcomes), keeping sweep artifacts reproducible.
+    """
+    if builder is None:
+        scenario = build_world(cell.scenario)
+    else:
+        scenario = builder.scenario_for(cell.scenario)
+    _apply_failures(scenario, cell.failure)
     records = run_workload(scenario, cell.workload)
 
     cache_hits = cache_misses = cache_expirations = 0
@@ -207,6 +306,8 @@ def run_cell(cell):
         "num_sites": cell.scenario.num_sites,
         "seed": cell.scenario.seed,
         "zipf_s": cell.workload.zipf_s,
+        "size_dist": cell.workload.size_dist,
+        "fail_fraction": cell.failure.fraction if cell.failure else 0.0,
         "mode": cell.workload.mode,
         "metrics": metrics,
     }
@@ -218,30 +319,95 @@ def _round_summary(summary):
 
 
 # --------------------------------------------------------------------- #
-# Fan-out and aggregation
+# Fan-out: persistent workers with per-worker world caches
 # --------------------------------------------------------------------- #
 
-def _map_cells(cells, workers):
-    if workers <= 1 or len(cells) <= 1:
-        return [run_cell(cell) for cell in cells]
-    context = multiprocessing.get_context()
-    processes = min(workers, len(cells))
-    with context.Pool(processes=processes) as pool:
-        # pool.map preserves submission order, so results are index-ordered
-        # regardless of which worker finishes first.
-        return pool.map(run_cell, cells, chunksize=1)
+def group_cells_by_world(cells, workers=1):
+    """Cells grouped by world key, groups in first-appearance order.
 
+    A group's cells share one built world; dispatching whole groups to
+    workers is what lets the per-worker
+    :class:`~repro.experiments.worldbuild.WorldBuilder` reuse it.  When
+    fewer groups than *workers* exist, the largest groups are split so the
+    pool stays busy — each split costs one extra world build on whichever
+    worker receives it, a good trade once workload time dominates.
+    """
+    grouped = {}
+    for cell in cells:
+        grouped.setdefault(world_key(cell.scenario), []).append(cell)
+    groups = list(grouped.values())
+    while len(groups) < workers:
+        largest = max(groups, key=len)
+        if len(largest) < 2:
+            break
+        half = len(largest) // 2
+        groups[groups.index(largest)] = largest[:half]
+        groups.append(largest[half:])
+    return groups
+
+
+#: Per-process world cache, created by the pool initializer.
+_WORKER_BUILDER = None
+
+
+def _init_worker(max_worlds):
+    global _WORKER_BUILDER
+    _WORKER_BUILDER = WorldBuilder(max_worlds=max_worlds)
+
+
+def _run_cell_group(cells):
+    """Worker entry point: run one world-sharing group of cells in order.
+
+    Returns ``[(result, world_cache_outcome), ...]``.
+    """
+    builder = _WORKER_BUILDER
+    if builder is None:  # direct invocation outside a pool
+        builder = WorldBuilder(max_worlds=1)
+    return [(run_cell(cell, builder=builder), builder.last_outcome)
+            for cell in cells]
+
+
+def _iter_completed(cells, workers, max_worlds):
+    """Yield ``(result, outcome)`` per cell as cells complete.
+
+    ``workers<=1`` runs everything inline with one builder; otherwise a
+    persistent process pool is used, each worker holding its own world
+    cache for the lifetime of the sweep.  Completion order is arbitrary
+    under fan-out — consumers must not rely on it (the aggregation path
+    reorders by cell index).
+    """
+    groups = group_cells_by_world(cells, workers=workers)
+    if workers <= 1 or len(cells) <= 1:
+        builder = WorldBuilder(max_worlds=max_worlds)
+        for group in groups:
+            for cell in group:
+                yield run_cell(cell, builder=builder), builder.last_outcome
+        return
+    context = multiprocessing.get_context()
+    processes = min(workers, len(groups))
+    with context.Pool(processes=processes, initializer=_init_worker,
+                      initargs=(max_worlds,)) as pool:
+        for group_results in pool.imap_unordered(_run_cell_group, groups,
+                                                 chunksize=1):
+            for result, outcome in group_results:
+                yield result, outcome
+
+
+# --------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------- #
 
 def aggregate_cells(results):
-    """Seed-averaged aggregates per (control_plane, num_sites, zipf_s)."""
+    """Seed-averaged aggregates per (cp, sites, zipf, size_dist, fail)."""
     groups = {}
     for result in results:
-        key = (result["control_plane"], result["num_sites"], result["zipf_s"])
+        key = (result["control_plane"], result["num_sites"], result["zipf_s"],
+               result["size_dist"], result["fail_fraction"])
         groups.setdefault(key, []).append(result)
     aggregates = []
-    for key in sorted(groups, key=lambda k: (k[0], k[1], k[2])):
+    for key in sorted(groups):
         members = groups[key]
-        control_plane, num_sites, zipf_s = key
+        control_plane, num_sites, zipf_s, size_dist, fail_fraction = key
         hit_ratios = [m["metrics"]["cache_hit_ratio"] for m in members
                       if m["metrics"]["cache_hit_ratio"] is not None]
         setup_p95s = [m["metrics"]["setup_latency"]["p95"] for m in members
@@ -250,6 +416,8 @@ def aggregate_cells(results):
             "control_plane": control_plane,
             "num_sites": num_sites,
             "zipf_s": zipf_s,
+            "size_dist": size_dist,
+            "fail_fraction": fail_fraction,
             "cells": len(members),
             "seeds": sorted(m["seed"] for m in members),
             "flows": sum(m["metrics"]["flows"] for m in members),
@@ -274,19 +442,71 @@ def _max_dns_p95(members):
     return round(max(values), 9) if values else None
 
 
-def run_sweep(grid, workers=1, json_path=None, csv_path=None):
+# --------------------------------------------------------------------- #
+# Streaming artifact + sweep driver
+# --------------------------------------------------------------------- #
+
+def read_jsonl(path):
+    """Parse a per-cell JSONL artifact back into result dicts.
+
+    The per-line ``world`` tag (cache outcome, scheduling-dependent) is
+    stripped so the returned results are exactly what the deterministic
+    payload carries.
+    """
+    results = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            entry.pop("world", None)
+            results.append(entry)
+    return results
+
+
+def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
+              max_worlds=DEFAULT_MAX_WORLDS):
     """Expand *grid*, run every cell, aggregate, and write artifacts.
 
-    Returns the full payload dict (also what lands in ``json_path``).
+    Cell results stream to *jsonl_path* as they complete (a temporary file
+    is used — and removed — when no path is given); the payload is then
+    assembled by reading the stream back and ordering by cell index, so
+    aggregates and the JSON artifact never depend on completion order or
+    worker count.  Returns the full payload dict (also what lands in
+    ``json_path``) with the non-deterministic ``world_cache`` summary
+    attached (excluded from :func:`payload_digest`).
     """
     cells = expand_grid(grid)
-    results = _map_cells(cells, workers)
+    cache_stats = WorldCacheStats()
+    stream_path = jsonl_path
+    if stream_path is None:
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cells.jsonl", prefix="repro-sweep-",
+            delete=False)
+        stream_path = handle.name
+    else:
+        handle = open(stream_path, "w")
+    try:
+        with handle:
+            for result, outcome in _iter_completed(cells, workers, max_worlds):
+                line = dict(result)
+                line["world"] = outcome
+                handle.write(json.dumps(line, sort_keys=True))
+                handle.write("\n")
+                handle.flush()
+                cache_stats.count(outcome)
+        results = sorted(read_jsonl(stream_path), key=lambda r: r["index"])
+    finally:
+        if jsonl_path is None:
+            os.unlink(stream_path)
     payload = {
         "schema": SCHEMA,
         "grid": grid.describe(),
         "num_cells": len(results),
         "cells": results,
         "aggregates": aggregate_cells(results),
+        "world_cache": cache_stats.as_dict(),
     }
     if json_path is not None:
         write_json(payload, json_path)
@@ -295,9 +515,21 @@ def run_sweep(grid, workers=1, json_path=None, csv_path=None):
     return payload
 
 
+#: Payload keys that may vary between runs (scheduling-dependent) and are
+#: therefore excluded from determinism digests and JSON artifacts' digests.
+NON_DETERMINISTIC_KEYS = ("world_cache",)
+
+
 def payload_digest(payload):
-    """Canonical JSON string of *payload* (determinism checks diff this)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    """Canonical JSON string of *payload* (determinism checks diff this).
+
+    Scheduling-dependent bookkeeping (``world_cache``) is excluded: the
+    digest covers exactly the simulation-derived content, which is
+    byte-identical for any worker count.
+    """
+    digestable = {key: value for key, value in payload.items()
+                  if key not in NON_DETERMINISTIC_KEYS}
+    return json.dumps(digestable, sort_keys=True, separators=(",", ":"))
 
 
 def write_json(payload, path):
@@ -308,9 +540,10 @@ def write_json(payload, path):
 
 #: Flat per-cell CSV columns (scalars only; nested summaries get p50/p95).
 CSV_COLUMNS = ("index", "cell_id", "control_plane", "num_sites", "seed",
-               "zipf_s", "mode", "flows", "flows_failed", "packets_sent",
-               "packets_delivered", "packets_lost", "first_packet_drops",
-               "cache_hit_ratio", "cache_expirations", "resolutions_started",
+               "zipf_s", "size_dist", "fail_fraction", "mode", "flows",
+               "flows_failed", "packets_sent", "packets_delivered",
+               "packets_lost", "first_packet_drops", "cache_hit_ratio",
+               "cache_expirations", "resolutions_started",
                "resolutions_failed", "map_cache_trie_nodes",
                "map_cache_entries", "dns_p50", "dns_p95", "setup_p50",
                "setup_p95", "control_messages", "control_bytes", "sim_events")
@@ -327,7 +560,7 @@ def write_csv(payload, path):
             row = {
                 **{key: cell[key] for key in
                    ("index", "cell_id", "control_plane", "num_sites", "seed",
-                    "zipf_s", "mode")},
+                    "zipf_s", "size_dist", "fail_fraction", "mode")},
                 **{key: metrics[key] for key in
                    ("flows", "flows_failed", "packets_sent",
                     "packets_delivered", "packets_lost", "first_packet_drops",
@@ -368,17 +601,38 @@ PRESETS = {
         arrival_rate=20.0,
     ),
     # The ROADMAP's production-scale target: >=100 sites, Zipf-skewed
-    # destinations, all four control planes, 24 cells.  TCP mode so the
-    # artifacts carry connection-setup latency percentiles.
+    # destinations, all four control planes, constant vs heavy-tailed flow
+    # sizes (the pairs share worlds, exercising worker-side reuse).  TCP
+    # mode with post-handshake data bursts, so the artifacts carry both
+    # connection-setup latency percentiles and size-shaped data traffic.
     "scale": SweepGrid(
         name="scale",
         control_planes=("pce", "alt", "cons", "nerd"),
         site_counts=(8, 32, 120),
         seeds=(11, 12),
         zipf_values=(1.2,),
+        size_dists=("constant", "pareto"),
         num_providers=8,
         num_flows=80,
         arrival_rate=40.0,
         mode="tcp",
+        workload_overrides={"tcp_data_burst": True},
+    ),
+    # RLOC failure as a sweep axis: half the sites lose their primary
+    # access link mid-workload; PCE runs with probing + backup locators so
+    # failover happens, the reactive baseline blackholes (E9 at grid scale).
+    "failover": SweepGrid(
+        name="failover",
+        control_planes=("pce", "alt"),
+        site_counts=(6,),
+        seeds=(21, 22),
+        zipf_values=(1.0,),
+        fail_fractions=(0.0, 0.5),
+        fail_at=1.0,
+        repair_at=3.0,
+        num_flows=40,
+        arrival_rate=15.0,
+        packets_per_flow=6,
+        scenario_overrides={"enable_probing": True, "probe_period": 0.3},
     ),
 }

@@ -2,16 +2,19 @@
 
 Every flow mimics a connecting application: resolve the destination name,
 then either open a TCP connection (``mode="tcp"``) or emit a spaced UDP
-burst (``mode="udp"``).  Per-flow :class:`~repro.traffic.flows.FlowRecord`
-objects collect DNS time, setup time, retransmissions and packet fates —
-the raw material for experiments E1/E3/E7.
+burst (``mode="udp"``).  With ``tcp_data_burst`` a successful handshake is
+followed by the sized data burst too, so flow-size distributions shape TCP
+workloads as well (the sweep engine's ``scale`` preset relies on this).
+Per-flow :class:`~repro.traffic.flows.FlowRecord` objects collect DNS
+time, setup time, retransmissions and packet fates — the raw material for
+experiments E1/E3/E7.
 """
 
 from dataclasses import dataclass
 
 from repro.experiments.scenario import FLOW_TCP_PORT, FLOW_UDP_PORT
 from repro.traffic.flows import FlowRecord, next_flow_id, send_udp_burst
-from repro.traffic.popularity import ZipfSampler
+from repro.traffic.popularity import FlowSizeSampler, ZipfSampler
 
 
 @dataclass
@@ -23,6 +26,17 @@ class WorkloadConfig:
     packets_per_flow: int = 5
     payload_bytes: int = 1000
     packet_spacing: float = 0.001
+    #: In TCP mode, follow a successful handshake with the sized data
+    #: burst (False keeps the handshake-only behaviour of E3).
+    tcp_data_burst: bool = False
+    #: Flow-size distribution for UDP bursts ("constant"|"pareto"|"lognormal"):
+    #: heavy tails around a mean of ``packets_per_flow`` packets.  The
+    #: default draws nothing from the RNG, so constant-size workloads are
+    #: byte-identical to the pre-size-distribution behaviour.
+    size_dist: str = "constant"
+    size_alpha: float = 1.4         # bounded-Pareto tail exponent
+    size_sigma: float = 1.0         # lognormal shape
+    size_max_factor: float = 50.0   # cap relative to the distribution scale
     source_site: int = None         # None = uniformly random
     dest_site: int = None           # None = Zipf over the other sites
     grace_period: float = 8.0       # settle time after the last arrival
@@ -38,6 +52,11 @@ def run_workload(scenario, workload):
     if num_sites < 2:
         raise ValueError("workload needs at least two sites")
     zipf = ZipfSampler(num_sites - 1, s=workload.zipf_s, rng=rng)
+    sizes = FlowSizeSampler(dist=workload.size_dist,
+                            mean=workload.packets_per_flow,
+                            alpha=workload.size_alpha,
+                            sigma=workload.size_sigma,
+                            max_factor=workload.size_max_factor, rng=rng)
     records = []
 
     def pick_sites():
@@ -87,9 +106,14 @@ def run_workload(scenario, workload):
             record.established_at = sim.now
             record.setup_elapsed = setup
             record.syn_retransmissions = retries
+            if workload.tcp_data_burst:
+                yield send_udp_burst(sim, src_host, address, FLOW_UDP_PORT,
+                                     record, count_packets=sizes.sample(),
+                                     payload_bytes=workload.payload_bytes,
+                                     spacing=workload.packet_spacing)
         else:
             yield send_udp_burst(sim, src_host, address, FLOW_UDP_PORT, record,
-                                 count_packets=workload.packets_per_flow,
+                                 count_packets=sizes.sample(),
                                  payload_bytes=workload.payload_bytes,
                                  spacing=workload.packet_spacing)
 

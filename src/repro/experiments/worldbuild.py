@@ -1,0 +1,163 @@
+"""World construction and reuse: build scenarios once, reset them cheaply.
+
+Building a sweep cell's world is the expensive part of running it: node and
+link construction, DNS install, control-plane deployment and the provider
+route build all scale with the site count, while the workload itself is a
+few hundred flows.  Cells that share a
+:class:`~repro.experiments.scenario.ScenarioConfig` (same control plane,
+site count, seed, ...) build *identical* worlds and differ only in the
+workload they run — so the world can be built once and recycled.
+
+The mechanism is checkpoint/restore rather than rebuild:
+
+- :func:`build_world` builds a scenario (through the memoized
+  :class:`~repro.net.routing.RoutingPlan` route build), settles any
+  deployment-time events, and captures a checkpoint of every stateful
+  component (``Scenario.stateful_components``).
+- :func:`restore_world` puts all of them back — simulator clock, RNG
+  stream states, FIB dynamic entries, map-caches, DNS caches, counters,
+  link stats — so a restored world is byte-for-byte the world the build
+  produced.  Determinism tests diff fresh-build vs reused-world summaries.
+
+Worlds with perpetual background processes (RLOC probing, a started IRC
+measurement loop) can never drain their event queue, so they are built
+fresh every time (*bypass*); everything else is cacheable.
+
+:class:`WorldBuilder` is the per-process cache the sweep workers hold: a
+small LRU keyed on the full scenario config, with hit/miss/bypass counters
+that the sweep surfaces in its output.
+"""
+
+from collections import OrderedDict
+from dataclasses import astuple
+
+from repro.experiments.scenario import build_scenario
+
+
+def world_key(config):
+    """Hashable identity of the world *config* builds.
+
+    Every :class:`ScenarioConfig` field participates: two configs differing
+    in any knob (mapping TTL, miss policy, delay ranges, ...) build
+    different worlds and must not share a cache slot.
+    """
+    return astuple(config)
+
+
+def reusable(config):
+    """Whether *config* builds a checkpointable (hence cacheable) world.
+
+    Perpetual background processes keep the event queue non-empty forever,
+    and pending events hold live generators that cannot be checkpointed.
+    """
+    return not (config.enable_probing or config.start_irc)
+
+
+def build_world(config):
+    """Build the world for *config*; checkpoint it when reusable.
+
+    Reusable worlds are settled first (the queue is drained of finite
+    deployment-time events, e.g. NERD's initial database push) so the
+    checkpoint captures a quiescent world; the workload then starts from
+    the same instant on fresh builds and reuses alike.  The checkpoint is
+    attached as ``scenario.world_checkpoint`` (None when not reusable).
+    """
+    scenario = build_scenario(config)
+    if reusable(config):
+        scenario.sim.run()  # settle: drain finite deployment-time events
+        scenario.world_checkpoint = capture_world(scenario)
+    else:
+        scenario.world_checkpoint = None
+    return scenario
+
+
+def capture_world(scenario):
+    """Checkpoint every stateful component of *scenario*."""
+    return [(component, component.snapshot_state())
+            for component in scenario.stateful_components()]
+
+
+def restore_world(scenario):
+    """Reset *scenario* to its post-build checkpoint, ready for a new run."""
+    if scenario.world_checkpoint is None:
+        raise ValueError("scenario has no world checkpoint")
+    for component, state in scenario.world_checkpoint:
+        component.restore_state(state)
+    scenario.stubs.clear()
+
+
+class WorldCacheStats:
+    """Counters for one :class:`WorldBuilder` (surfaced by the sweep)."""
+
+    __slots__ = ("builds", "hits", "misses", "bypasses")
+
+    def __init__(self):
+        self.builds = 0
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def as_dict(self):
+        return {"builds": self.builds, "hits": self.hits,
+                "misses": self.misses, "bypasses": self.bypasses}
+
+    def count(self, outcome):
+        """Tally one ``scenario_for`` outcome ("hit" | "miss" | "bypass")."""
+        if outcome == "hit":
+            self.hits += 1
+            return
+        self.builds += 1
+        if outcome == "miss":
+            self.misses += 1
+        else:
+            self.bypasses += 1
+
+
+class WorldBuilder:
+    """A keyed LRU cache of built worlds with checkpoint-based reset.
+
+    One lives in every persistent sweep worker; cells arriving with a
+    config seen before get the cached world restored to pristine state
+    instead of a rebuild.  ``max_worlds`` bounds resident memory (large
+    worlds are the whole point of reuse, and also the reason not to keep
+    too many of them alive).
+    """
+
+    def __init__(self, max_worlds=4):
+        if max_worlds < 1:
+            raise ValueError("max_worlds must be >= 1")
+        self.max_worlds = max_worlds
+        self.stats = WorldCacheStats()
+        #: Cache outcome of the most recent scenario_for call
+        #: ("hit" | "miss" | "bypass"), for per-cell reporting.
+        self.last_outcome = None
+        self._cache = OrderedDict()
+
+    def __len__(self):
+        return len(self._cache)
+
+    def scenario_for(self, config):
+        """The world for *config*: cached-and-reset when possible."""
+        if not reusable(config):
+            self._record("bypass")
+            return build_world(config)
+        key = world_key(config)
+        scenario = self._cache.get(key)
+        if scenario is not None:
+            self._cache.move_to_end(key)
+            restore_world(scenario)
+            self._record("hit")
+            return scenario
+        scenario = build_world(config)
+        self._record("miss")
+        self._cache[key] = scenario
+        while len(self._cache) > self.max_worlds:
+            self._cache.popitem(last=False)
+        return scenario
+
+    def _record(self, outcome):
+        self.stats.count(outcome)
+        self.last_outcome = outcome
+
+    def clear(self):
+        self._cache.clear()

@@ -39,6 +39,7 @@ class AltMappingSystem(MappingSystem):
     """The ALT overlay mapping system."""
 
     name = "alt"
+    _state_attrs = ("_pending",)
 
     def __init__(self, sim, chord_stride=None, hop_processing_delay=0.0005,
                  request_timeout=1.0, retries=1, max_overlay_hops=64):

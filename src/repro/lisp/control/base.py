@@ -4,6 +4,7 @@ from collections import defaultdict
 
 from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.net.fib import Fib, FibEntry
+from repro.sim.state import state_copy
 
 
 class ControlStats:
@@ -28,6 +29,17 @@ class ControlStats:
             self.resolution_latencies.append(latency)
         else:
             self.resolution_failures += 1
+
+    def snapshot_state(self):
+        return (self.messages, self.bytes, state_copy(self.by_type),
+                self.resolutions, self.resolution_failures,
+                list(self.resolution_latencies))
+
+    def restore_state(self, state):
+        (self.messages, self.bytes, by_type, self.resolutions,
+         self.resolution_failures, latencies) = state
+        self.by_type = state_copy(by_type)
+        self.resolution_latencies = list(latencies)
 
 
 class MappingRegistry:
@@ -65,6 +77,14 @@ class MappingRegistry:
 
     def __len__(self):
         return len(self._by_prefix)
+
+    def snapshot_state(self):
+        return (dict(self._by_prefix), self._fib.snapshot_state())
+
+    def restore_state(self, state):
+        by_prefix, fib_state = state
+        self._by_prefix = dict(by_prefix)
+        self._fib.restore_state(fib_state)
 
 
 class MappingSystem:
@@ -112,3 +132,25 @@ class MappingSystem:
 
     def finalize(self):
         """Hook run after all sites are registered (overlay builds, pushes)."""
+
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    #: Extra mutable attributes subclasses want captured (shallow-copied
+    #: containers; see repro.sim.state.state_copy).
+    _state_attrs = ()
+
+    def snapshot_state(self):
+        return {
+            "stats": self.stats.snapshot_state(),
+            "registry": self.registry.snapshot_state(),
+            "extra": {name: state_copy(getattr(self, name))
+                      for name in self._state_attrs},
+        }
+
+    def restore_state(self, state):
+        self.stats.restore_state(state["stats"])
+        self.registry.restore_state(state["registry"])
+        for name, value in state["extra"].items():
+            setattr(self, name, state_copy(value))

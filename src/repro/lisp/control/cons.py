@@ -52,6 +52,7 @@ class ConsMappingSystem(MappingSystem):
     """The CONS tree mapping system."""
 
     name = "cons"
+    _state_attrs = ("_pending",)
 
     def __init__(self, sim, topology, branching=4, hop_processing_delay=0.0005,
                  request_timeout=2.0, retries=1):

@@ -35,6 +35,7 @@ class NerdMappingSystem(MappingSystem):
     """Central authority pushing the mapping database to every xTR."""
 
     name = "nerd"
+    _state_attrs = ("version", "pushes_sent", "_installed_versions")
 
     def __init__(self, sim, topology, authority_provider=0):
         super().__init__(sim)

@@ -95,3 +95,11 @@ class MapCache:
     def hit_ratio(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot_state(self):
+        return (self._fib.snapshot_state(), self.hits, self.misses,
+                self.expirations, self.installs)
+
+    def restore_state(self, state):
+        fib_state, self.hits, self.misses, self.expirations, self.installs = state
+        self._fib.restore_state(fib_state)

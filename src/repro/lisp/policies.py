@@ -27,6 +27,15 @@ class MissPolicyStats:
         self.cp_bytes = 0
         self.queue_delays = []
 
+    def snapshot_state(self):
+        return (self.dropped, self.queued, self.flushed, self.queue_overflow,
+                self.cp_carried, self.cp_bytes, list(self.queue_delays))
+
+    def restore_state(self, state):
+        (self.dropped, self.queued, self.flushed, self.queue_overflow,
+         self.cp_carried, self.cp_bytes, delays) = state
+        self.queue_delays = list(delays)
+
 
 class DropPolicy:
     """Drop packets that miss the cache (draft default)."""
@@ -45,6 +54,12 @@ class DropPolicy:
 
     def on_resolved(self, xtr, eid, mapping):
         """Nothing buffered, nothing to do."""
+
+    def snapshot_state(self):
+        return self.stats.snapshot_state()
+
+    def restore_state(self, state):
+        self.stats.restore_state(state)
 
 
 class QueuePolicy:
@@ -81,6 +96,13 @@ class QueuePolicy:
                 mark_fate(packet, "flushed-after-queue")
                 xtr.encapsulate_and_send(packet, mapping)
 
+    def snapshot_state(self):
+        return self.stats.snapshot_state()
+
+    def restore_state(self, state):
+        self.stats.restore_state(state)
+        self._buffers.clear()
+
 
 class CpDataPolicy:
     """Carry missing-mapping packets over the control plane.
@@ -109,6 +131,12 @@ class CpDataPolicy:
 
     def on_resolved(self, xtr, eid, mapping):
         """Packets already forwarded over the CP; nothing buffered."""
+
+    def snapshot_state(self):
+        return self.stats.snapshot_state()
+
+    def restore_state(self, state):
+        self.stats.restore_state(state)
 
 
 def mark_fate(packet, fate):

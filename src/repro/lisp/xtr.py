@@ -184,6 +184,31 @@ class TunnelRouter:
         mark_fate(inner, "delivered-via-cp")
         self.node.send(inner)
 
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self):
+        return {
+            "map_cache": self.map_cache.snapshot_state(),
+            "counters": (self.encapsulated, self.decapsulated,
+                         self.no_rloc_drops, self.misdelivered,
+                         self.resolutions_started, self.resolutions_failed),
+            "seen": set(self._seen_inner_sources),
+            "listeners": list(self.decap_listeners),
+            "rloc_liveness": self.rloc_liveness,
+        }
+
+    def restore_state(self, state):
+        self.map_cache.restore_state(state["map_cache"])
+        (self.encapsulated, self.decapsulated, self.no_rloc_drops,
+         self.misdelivered, self.resolutions_started,
+         self.resolutions_failed) = state["counters"]
+        self._seen_inner_sources = set(state["seen"])
+        self.decap_listeners = list(state["listeners"])
+        self.rloc_liveness = state["rloc_liveness"]
+        self._pending.clear()
+
 
 def _gleaned_mapping(inner_source, outer_source):
     """A /32 reverse mapping learned from one data packet."""

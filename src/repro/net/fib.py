@@ -53,6 +53,9 @@ class Fib:
     def __init__(self):
         self._root = _TrieNode()
         self._size = 0
+        #: Bumped on every mutation; lets checkpoint restores skip tables
+        #: that were never touched (provider FIBs during a workload run).
+        self.version = 0
 
     def __len__(self):
         return self._size
@@ -73,6 +76,7 @@ class Fib:
         if node.entry is None:
             self._size += 1
         node.entry = entry
+        self.version += 1
 
     def add(self, prefix, interface, next_hop=None, metric=0.0):
         """Shorthand for :meth:`insert`."""
@@ -97,6 +101,7 @@ class Fib:
         entry, node.entry = node.entry, None
         if entry is not None:
             self._size -= 1
+            self.version += 1
             for parent, bit in reversed(path):
                 child = parent.children[bit]
                 if child.entry is not None or child.children[0] is not None \
@@ -169,3 +174,19 @@ class Fib:
     def clear(self):
         self._root = _TrieNode()
         self._size = 0
+        self.version += 1
+
+    def snapshot_state(self):
+        """Checkpoint: the mutation version plus the full entry list."""
+        return (self.version, tuple(self.entries()))
+
+    def restore_state(self, state):
+        """Rebuild from a checkpoint; no-op when the table never changed."""
+        version, entries = state
+        if self.version == version:
+            return
+        self._root = _TrieNode()
+        self._size = 0
+        for entry in entries:
+            self.insert(entry)
+        self.version = version

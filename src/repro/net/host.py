@@ -88,6 +88,8 @@ class Host(Node):
         self._address = IPv4Address(value)
         self.add_address(self._address)
 
+    _state_attrs = Node._state_attrs + ("_next_ephemeral",)
+
     def ephemeral_port(self):
         """Allocate the next ephemeral port (wraps within the IANA range)."""
         port = self._next_ephemeral

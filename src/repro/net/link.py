@@ -116,6 +116,17 @@ class Link:
         """Packets currently waiting (excluding the one in serialisation)."""
         return len(self._queue)
 
+    def snapshot_state(self):
+        stats = self.stats
+        return (self.up, self._busy, stats.tx_packets, stats.tx_bytes,
+                stats.drops, stats.max_queue, stats.busy_time)
+
+    def restore_state(self, state):
+        stats = self.stats
+        (self.up, self._busy, stats.tx_packets, stats.tx_bytes,
+         stats.drops, stats.max_queue, stats.busy_time) = state
+        self._queue.clear()
+
 
 def connect(sim, iface_a, iface_b, delay=0.001, rate_bps=None, queue_capacity=1000):
     """Create a full-duplex connection (two simplex links) between interfaces.

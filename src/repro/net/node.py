@@ -11,6 +11,7 @@ from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.net.errors import NoRouteError, PortInUseError
 from repro.net.fib import Fib
 from repro.net.packet import PROTO_UDP, Packet, UDPHeader
+from repro.sim.state import restore_attrs, snapshot_attrs
 
 
 class Interface:
@@ -195,6 +196,25 @@ class Node:
             return False
         self.tx_packets += 1
         return interface.link.send(packet)
+
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    #: Mutable attributes captured by snapshot_state (subclasses extend).
+    _state_attrs = ("rx_packets", "tx_packets", "dropped_packets",
+                    "extra_addresses", "services", "_proto_handlers",
+                    "_udp_ports", "forward_taps")
+
+    def snapshot_state(self):
+        state = snapshot_attrs(self, self._state_attrs)
+        state["fib"] = self.fib.snapshot_state()
+        return state
+
+    def restore_state(self, state):
+        self.fib.restore_state(state["fib"])
+        restore_attrs(self, {name: value for name, value in state.items()
+                             if name != "fib"})
 
     def send_udp(self, src, dst, sport, dport, payload=None, payload_bytes=0, meta=None):
         """Build and send a UDP datagram from this node."""

@@ -10,6 +10,13 @@ in every provider router's FIB:
 - every attachment's prefix, pointing toward the home provider and, at the
   home provider itself, out of the access interface.
 
+The heavy lifting lives in :class:`RoutingPlan`: per-provider shortest-path
+tables computed **once** per mesh, memoized against a topology fingerprint,
+and reused both for incremental attachment installs (insert routes for new
+prefixes without re-running Dijkstra) and for O(1) pairwise delay queries
+(:meth:`RoutingPlan.delay`), which the IRC engine hits per site pair during
+every topology build.
+
 Intra-site routing is installed explicitly by the topology builder — sites
 are stubs and must never transit traffic, which a blind shortest-path
 computation over the full node set would allow.
@@ -64,35 +71,103 @@ def build_adjacency(routers):
     return adjacency
 
 
-def install_mesh_routes(providers, owned_prefixes):
-    """Install routes among provider routers.
+def mesh_fingerprint(routers):
+    """A hashable digest of the mesh topology among *routers*.
 
-    Parameters
-    ----------
-    providers:
-        The provider edge routers (the global routing domain).
-    owned_prefixes:
-        ``[(prefix, owner_router, local_iface_or_None)]``.  At the owner,
-        the route points out of *local_iface* (toward the attachment); at
-        every other provider it points toward the owner across the mesh.
+    Two fingerprints are equal iff the routers, their mesh links and the
+    link delays are identical — the exact conditions under which a
+    :class:`RoutingPlan`'s shortest-path tables stay valid.  Access links
+    toward sites and infrastructure hosts do not participate (their peers
+    are not mesh members), so attaching new sites never invalidates a plan.
     """
-    adjacency = build_adjacency(providers)
-    next_hops = {router: shortest_path_next_hops(adjacency, router) for router in providers}
-    for prefix, owner, local_iface in owned_prefixes:
-        for router in providers:
-            if router is owner:
-                if local_iface is not None:
-                    router.fib.insert(FibEntry(prefix, local_iface))
-                continue
-            hop = next_hops[router].get(owner)
-            if hop is None:
-                continue
-            iface, distance = hop
-            router.fib.insert(FibEntry(prefix, iface, next_hop=owner, metric=distance))
+    adjacency = build_adjacency(routers)
+    return tuple(
+        (router.name,
+         tuple(sorted((peer.name, delay, iface.name)
+                      for peer, delay, iface in edges)))
+        for router, edges in adjacency.items())
+
+
+class RoutingPlan:
+    """Shortest-path tables over the provider mesh, computed once.
+
+    The plan runs one Dijkstra per provider at construction and answers
+    every later question from the tables:
+
+    - :meth:`install` inserts FIB routes for a batch of attachments without
+      recomputing anything, which is what makes attachment installs
+      incremental (the old ``install_mesh_routes`` re-ran the all-pairs
+      computation for every batch);
+    - :meth:`delay` / :meth:`next_hop` are O(1) dict lookups.
+
+    ``fingerprint`` captures the mesh the tables were computed over;
+    holders (see :meth:`~repro.net.topology.Topology.routing_plan`) compare
+    it against :func:`mesh_fingerprint` to decide whether a cached plan is
+    still valid.
+    """
+
+    def __init__(self, providers, fingerprint=None):
+        self.providers = list(providers)
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else mesh_fingerprint(self.providers))
+        adjacency = build_adjacency(self.providers)
+        self._next_hops = {router: shortest_path_next_hops(adjacency, router)
+                           for router in self.providers}
+
+    def next_hop(self, router, owner):
+        """``(first_hop_iface, total_delay)`` from *router* toward *owner*.
+
+        None when *owner* is unreachable (or is *router* itself).
+        """
+        return self._next_hops[router].get(owner)
+
+    def delay(self, source, destination):
+        """Shortest-path delay between two mesh routers (None if unreachable)."""
+        if source is destination:
+            return 0.0
+        entry = self._next_hops[source].get(destination)
+        return entry[1] if entry is not None else None
+
+    def install(self, owned_prefixes):
+        """Install FIB routes for *owned_prefixes* using the cached tables.
+
+        ``owned_prefixes`` is ``[(prefix, owner_router, local_iface_or_None)]``
+        with the same semantics as :func:`install_mesh_routes`.  Re-installing
+        a prefix replaces the previous entry, so calls are idempotent.
+        """
+        for prefix, owner, local_iface in owned_prefixes:
+            hops_to_owner = self._next_hops
+            for router in self.providers:
+                if router is owner:
+                    if local_iface is not None:
+                        router.fib.insert(FibEntry(prefix, local_iface))
+                    continue
+                hop = hops_to_owner[router].get(owner)
+                if hop is None:
+                    continue
+                iface, distance = hop
+                router.fib.insert(FibEntry(prefix, iface, next_hop=owner,
+                                           metric=distance))
+
+
+def install_mesh_routes(providers, owned_prefixes):
+    """Install routes among provider routers (from-scratch computation).
+
+    Kept as the reference implementation: builds a fresh
+    :class:`RoutingPlan` and installs every attachment through it.  Callers
+    on the hot path should hold a plan and use :meth:`RoutingPlan.install`
+    incrementally instead.
+    """
+    RoutingPlan(providers).install(owned_prefixes)
 
 
 def path_delay(adjacency, source, destination):
-    """Total shortest-path delay between two routers (None if unreachable)."""
+    """Total shortest-path delay between two routers (None if unreachable).
+
+    Note: runs a full Dijkstra from *source* per call.  Repeated pairwise
+    queries should go through :meth:`RoutingPlan.delay`, which answers from
+    the precomputed tables (see ``Topology.provider_mesh_delay``).
+    """
     if source is destination:
         return 0.0
     hops = shortest_path_next_hops(adjacency, source)

@@ -38,7 +38,7 @@ from repro.net.fib import FibEntry
 from repro.net.host import Host
 from repro.net.link import connect
 from repro.net.router import Router
-from repro.net.routing import build_adjacency, install_mesh_routes, path_delay
+from repro.net.routing import RoutingPlan, mesh_fingerprint
 
 DEFAULT_PREFIX = IPv4Prefix("0.0.0.0/0")
 
@@ -115,6 +115,10 @@ class Topology:
     infra_hosts: dict = field(default_factory=dict)
     attachments: list = field(default_factory=list)
     eids_globally_routable: bool = False
+    #: Memoized :class:`~repro.net.routing.RoutingPlan` (see :meth:`routing_plan`).
+    _plan: object = field(default=None, repr=False)
+    #: How many ``attachments`` entries have already been installed.
+    _routes_installed: int = field(default=0, repr=False)
 
     def all_nodes(self):
         nodes = list(self.providers)
@@ -142,10 +146,31 @@ class Topology:
                 return site
         return None
 
+    def routing_plan(self):
+        """The provider-mesh :class:`~repro.net.routing.RoutingPlan`.
+
+        Computed on first use and memoized against the mesh fingerprint:
+        as long as the provider routers and their mesh links are unchanged
+        (site/infrastructure attachments don't count), the same shortest-path
+        tables serve every install and delay query for this topology.
+        """
+        fingerprint = mesh_fingerprint(self.providers)
+        if self._plan is None or self._plan.fingerprint != fingerprint:
+            self._plan = RoutingPlan(self.providers, fingerprint=fingerprint)
+            self._routes_installed = 0  # new tables: (re)install everything
+        return self._plan
+
     def provider_mesh_delay(self, provider_a, provider_b):
-        """Shortest-path delay between two provider routers."""
-        adjacency = build_adjacency(self.providers)
-        return path_delay(adjacency, provider_a, provider_b)
+        """Shortest-path delay between two provider routers (O(1) from the plan).
+
+        Trusts the memoized plan without re-fingerprinting the mesh — this
+        is the hot query (the IRC engine asks per provider pair, per site,
+        per measurement round).  Route *installs* revalidate the
+        fingerprint, and mesh links never change between installs outside
+        of tests.
+        """
+        plan = self._plan if self._plan is not None else self.routing_plan()
+        return plan.delay(provider_a, provider_b)
 
     def attach_infra_host(self, provider_id, name, address):
         """Attach a shared infrastructure host (e.g. root/TLD DNS) to a provider.
@@ -165,8 +190,19 @@ class Topology:
         return host
 
     def install_global_routes(self):
-        """(Re)compute and install all provider-mesh routes."""
-        install_mesh_routes(self.providers, self.attachments)
+        """Install provider-mesh routes for attachments added since last call.
+
+        Incremental: the memoized :meth:`routing_plan` tables are reused and
+        only the not-yet-installed tail of ``attachments`` is inserted, so
+        attaching infrastructure hosts after the initial build (DNS roots,
+        CONS CDRs, the NERD authority) costs O(new attachments x providers)
+        instead of a full all-pairs recomputation.
+        """
+        plan = self.routing_plan()
+        pending = self.attachments[self._routes_installed:]
+        if pending:
+            plan.install(pending)
+        self._routes_installed = len(self.attachments)
 
 
 def eid_prefix_for(site_index):

@@ -1,7 +1,6 @@
 """The simulation engine: a deterministic time-ordered event queue."""
 
 import heapq
-from itertools import count
 
 from repro.sim.errors import EmptySchedule
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -36,7 +35,7 @@ class Simulator:
         self.rng = RandomStreams(seed)
         self.trace = Tracer(enabled=tracing)
         self._queue = []
-        self._sequence = count()
+        self._sequence = 0
         self._processed_events = 0
 
     # ------------------------------------------------------------------ #
@@ -80,7 +79,9 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def _schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
-        heapq.heappush(self._queue, (self.now + delay, priority, next(self._sequence), event))
+        sequence = self._sequence
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, sequence, event))
 
     def peek(self):
         """Time of the next scheduled event, or ``float('inf')`` if none."""
@@ -116,3 +117,24 @@ class Simulator:
     def processed_events(self):
         """Number of events processed so far (diagnostic)."""
         return self._processed_events
+
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self):
+        """Checkpoint the clock and counters (requires a drained queue).
+
+        Pending events hold live generators and cannot be replayed, so a
+        world is only checkpointable when nothing is scheduled — the
+        worldbuild layer settles the simulation first and refuses to cache
+        worlds with perpetual background processes.
+        """
+        if self._queue:
+            raise RuntimeError(
+                f"cannot checkpoint with {len(self._queue)} pending events")
+        return (self.now, self._sequence, self._processed_events)
+
+    def restore_state(self, state):
+        self.now, self._sequence, self._processed_events = state
+        self._queue.clear()

@@ -42,3 +42,20 @@ class RandomStreams:
     def names(self):
         """Names of the streams created so far (for diagnostics)."""
         return sorted(self._streams)
+
+    def snapshot_state(self):
+        """Per-stream generator states (for world-reuse checkpointing)."""
+        return {name: stream.getstate() for name, stream in self._streams.items()}
+
+    def restore_state(self, state):
+        """Restore every checkpointed stream; drop streams created since.
+
+        Dropped streams are re-derived deterministically from
+        ``(seed, name)`` on next use, so a restored world draws exactly the
+        same values a freshly built one would.
+        """
+        for name in list(self._streams):
+            if name in state:
+                self._streams[name].setstate(state[name])
+            else:
+                del self._streams[name]

@@ -1,0 +1,47 @@
+"""Snapshot/restore helpers for world reuse.
+
+The worldbuild layer (:mod:`repro.experiments.worldbuild`) captures a
+pristine checkpoint of every stateful component right after a scenario is
+built, and restores it before each reuse so a recycled world is
+byte-for-byte indistinguishable from a freshly built one.  Components
+participate by implementing two methods::
+
+    def snapshot_state(self):  # -> opaque state object
+    def restore_state(self, state):  # put the object back exactly
+
+Most implementations are a dict of attribute names built with
+:func:`snapshot_attrs` / :func:`restore_attrs`.  Container values are
+structure-copied on *both* capture and restore so neither the live object
+nor a later run can mutate the checkpoint through shared references.
+"""
+
+from collections import defaultdict, deque
+
+
+def state_copy(value):
+    """Structure-copy *value*: fresh containers, shared (immutable) leaves."""
+    if isinstance(value, defaultdict):
+        copied = defaultdict(value.default_factory)
+        for key, item in value.items():
+            copied[key] = state_copy(item)
+        return copied
+    if isinstance(value, dict):
+        return {key: state_copy(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [state_copy(item) for item in value]
+    if isinstance(value, set):
+        return set(value)
+    if isinstance(value, deque):
+        return deque(value)
+    return value
+
+
+def snapshot_attrs(obj, names):
+    """A checkpoint dict of *names* attributes (structure-copied)."""
+    return {name: state_copy(getattr(obj, name)) for name in names}
+
+
+def restore_attrs(obj, state):
+    """Restore attributes captured by :func:`snapshot_attrs`."""
+    for name, value in state.items():
+        setattr(obj, name, state_copy(value))

@@ -81,6 +81,15 @@ class Tracer:
     def clear(self):
         self.records.clear()
 
+    def snapshot_state(self):
+        return (len(self.records), self.enabled, self._enabled_prefixes,
+                list(self._subscribers))
+
+    def restore_state(self, state):
+        length, self.enabled, self._enabled_prefixes, subscribers = state
+        del self.records[length:]
+        self._subscribers = list(subscribers)
+
     def __len__(self):
         return len(self.records)
 

@@ -105,6 +105,15 @@ class TcpStack:
 
         return sim.process(_connect(), name=f"{self.host.name}-connect")
 
+    def snapshot_state(self):
+        return (self.segments_received, self.data_bytes_received,
+                dict(self._listeners))
+
+    def restore_state(self, state):
+        self.segments_received, self.data_bytes_received, listeners = state
+        self._listeners = dict(listeners)
+        self._pending.clear()
+
 
 class UdpSink:
     """Counts datagrams per flow id on one UDP port."""
@@ -126,6 +135,15 @@ class UdpSink:
         flow_id = packet.meta.get("flow_id")
         if flow_id is not None:
             self.by_flow[flow_id] = self.by_flow.get(flow_id, 0) + 1
+
+    def snapshot_state(self):
+        return (self.received, self.bytes, dict(self.by_flow),
+                list(self.arrival_times))
+
+    def restore_state(self, state):
+        self.received, self.bytes, by_flow, arrivals = state
+        self.by_flow = dict(by_flow)
+        self.arrival_times = list(arrivals)
 
 
 def send_udp_burst(sim, host, destination, port, record, count_packets=5,

@@ -1,6 +1,7 @@
-"""Destination popularity models."""
+"""Destination popularity and flow-size models."""
 
 import bisect
+import math
 
 
 class ZipfSampler:
@@ -39,6 +40,88 @@ class ZipfSampler:
         if generator is None:
             raise ValueError("no RNG supplied")
         return bisect.bisect_left(self._cumulative, generator.random())
+
+    def sample_many(self, count, rng=None):
+        return [self.sample(rng) for _ in range(count)]
+
+
+#: Supported flow-size distributions.
+SIZE_DISTRIBUTIONS = ("constant", "pareto", "lognormal")
+
+
+class FlowSizeSampler:
+    """Flow sizes (in packets) around a target mean: constant or heavy-tailed.
+
+    Internet flow sizes are famously heavy-tailed — most flows are mice, a
+    few elephants carry most bytes — and tail behaviour diverges sharply
+    from mean behaviour (cf. the scale-free first-passage scaling work in
+    PAPERS.md).  Constant sizes keep every cell's cache pressure identical;
+    the heavy-tailed variants stress the map-cache tail instead.
+
+    - ``constant``: every flow is exactly ``mean`` packets.  Never draws
+      from the RNG, so enabling the sampler with the default distribution
+      is byte-identical to not having one.
+    - ``pareto``: bounded Pareto(``alpha``) on ``[1, max_factor]``,
+      rescaled so the distribution mean equals ``mean``.
+    - ``lognormal``: lognormal with E[X] = ``mean`` and shape ``sigma``,
+      truncated to ``[1, mean * max_factor]``.
+    """
+
+    def __init__(self, dist="constant", mean=5, alpha=1.4, sigma=1.0,
+                 max_factor=50.0, rng=None):
+        if dist not in SIZE_DISTRIBUTIONS:
+            raise ValueError(f"unknown size distribution {dist!r}")
+        if mean < 1:
+            raise ValueError("mean flow size must be >= 1 packet")
+        if dist == "pareto" and alpha <= 0:
+            raise ValueError("Pareto alpha must be positive")
+        if max_factor < 1:
+            raise ValueError("max_factor must be >= 1")
+        self.dist = dist
+        self.mean = float(mean)
+        self.alpha = float(alpha)
+        self.sigma = float(sigma)
+        self.max_factor = float(max_factor)
+        self._rng = rng
+        if dist == "pareto":
+            self._pareto_span = 1.0 - self.max_factor ** (-self.alpha)
+            self._pareto_mean = self._bounded_pareto_mean(
+                self.alpha, self.max_factor)
+        elif dist == "lognormal":
+            self._mu = math.log(self.mean) - self.sigma ** 2 / 2.0
+
+    @staticmethod
+    def _bounded_pareto_mean(alpha, high):
+        """Mean of Pareto(alpha) truncated to [1, high]."""
+        if alpha == 1.0:
+            return math.log(high) / (1.0 - 1.0 / high)
+        norm = alpha / (1.0 - high ** (-alpha))
+        return norm * (1.0 - high ** (1.0 - alpha)) / (alpha - 1.0)
+
+    @property
+    def max_packets(self):
+        """Largest size the sampler can return."""
+        if self.dist == "constant":
+            return max(1, round(self.mean))
+        if self.dist == "pareto":
+            return max(1, round(self.max_factor * self.mean / self._pareto_mean))
+        return max(1, round(self.mean * self.max_factor))
+
+    def sample(self, rng=None):
+        """Draw one flow size in packets (>= 1)."""
+        if self.dist == "constant":
+            return max(1, round(self.mean))
+        generator = rng or self._rng
+        if generator is None:
+            raise ValueError("no RNG supplied")
+        if self.dist == "pareto":
+            uniform = generator.random()
+            raw = (1.0 - uniform * self._pareto_span) ** (-1.0 / self.alpha)
+            scaled = raw * self.mean / self._pareto_mean
+        else:
+            scaled = generator.lognormvariate(self._mu, self.sigma)
+            scaled = min(scaled, self.mean * self.max_factor)
+        return max(1, round(scaled))
 
     def sample_many(self, count, rng=None):
         return [self.sample(rng) for _ in range(count)]

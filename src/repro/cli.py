@@ -32,7 +32,10 @@ Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
 (``--control-planes/--sites/--seeds/--zipf/--size-dists/--fail-fractions/
 --flows/--mode``) override the chosen preset's axes.  Aggregates are
 deterministic: the same grid and seeds produce byte-identical JSON for any
-``--workers`` value (world-cache counters are reported separately).
+``--workers`` value (world-cache counters are reported separately).  For
+giant grids, ``--no-json`` keeps the run memory-flat: aggregation and CSV
+writing fold over the JSONL stream and the per-cell list is never held in
+memory.
 """
 
 import argparse
@@ -143,6 +146,10 @@ def build_parser():
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes for cell fan-out")
     sweep.add_argument("--json", default=None, help="write full payload here")
+    sweep.add_argument("--no-json", action="store_true",
+                       help="never materialise the per-cell result list "
+                            "(memory-flat mode for giant grids: aggregates "
+                            "and CSV fold over the JSONL stream)")
     sweep.add_argument("--csv", default=None, help="write per-cell CSV here")
     sweep.add_argument("--jsonl", default=None,
                        help="stream per-cell results here (default: derived "
@@ -174,6 +181,9 @@ def _run_sweep_command(args):
     grid = PRESETS[args.preset]
     if args.max_worlds is not None and args.max_worlds < 1:
         print(f"sweep error: --max-worlds must be >= 1, got {args.max_worlds}")
+        return 1
+    if args.no_json and args.json is not None:
+        print("sweep error: --no-json cannot be combined with --json")
         return 1
     overrides = {}
     if args.control_planes is not None:
@@ -208,7 +218,8 @@ def _run_sweep_command(args):
             grid, workers=max(1, args.workers), json_path=args.json,
             csv_path=args.csv, jsonl_path=jsonl_path,
             max_worlds=(args.max_worlds if args.max_worlds is not None
-                        else DEFAULT_MAX_WORLDS))
+                        else DEFAULT_MAX_WORLDS),
+            include_cells=not args.no_json)
     except ValueError as error:
         print(f"sweep error: {error}")
         return 1

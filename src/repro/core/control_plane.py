@@ -42,7 +42,7 @@ class PceControlPlane:
                  precompute=True, computation_delay=0.0005, mapping_ttl=60.0,
                  push_mode="all", refresh_on_cached_answers=True,
                  miss_policy=None, start_irc=True, irc_period=0.5,
-                 enable_probing=False, probe_period=0.5, probe_timeout=0.3,
+                 enable_probing=False, probe_period=0.5, probe_timeout=None,
                  include_backup_rlocs=None):
         if push_mode not in ("all", "one"):
             raise ValueError(f"push_mode must be 'all' or 'one', got {push_mode!r}")
@@ -55,6 +55,11 @@ class PceControlPlane:
         self.miss_policy = miss_policy if miss_policy is not None else DropPolicy(sim)
         if include_backup_rlocs is None:
             include_backup_rlocs = enable_probing  # backups only help if probed
+        if probe_timeout is None:
+            # Keep the historical 0.3s timeout whenever it is valid; only
+            # scale down for faster probing (RlocProber requires
+            # timeout < period so probe rounds never overlap).
+            probe_timeout = 0.3 if probe_period > 0.3 else 0.6 * probe_period
         self.enable_probing = enable_probing
         self.pces = {}
         self.ircs = {}
@@ -264,6 +269,8 @@ class PceControlPlane:
                      for index, pce in self.pces.items()},
             "ircs": {index: irc.snapshot_state()
                      for index, irc in self.ircs.items()},
+            "probers": {name: prober.snapshot_state()
+                        for name, prober in self.probers.items()},
         }
 
     def restore_state(self, state):
@@ -277,6 +284,8 @@ class PceControlPlane:
             self.pces[index].restore_state(pce_state)
         for index, irc_state in state["ircs"].items():
             self.ircs[index].restore_state(irc_state)
+        for name, prober_state in state["probers"].items():
+            self.probers[name].restore_state(prober_state)
 
 
 def deploy_pce_control_plane(sim, topology, dns_system, **kwargs):

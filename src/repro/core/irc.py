@@ -61,23 +61,31 @@ class IrcEngine:
             base = self._path_delay_estimate(b)
             cost = costs[b] if costs is not None else 1.0
             self.estimates.append(ProviderEstimate(base, cost_per_byte=cost))
-        self._running = False
+        self._task = sim.periodic(self.measure_once, period,
+                                  name=f"irc-{site.name}")
 
     # ------------------------------------------------------------------ #
     # Background measurement (the "online engine running in background")
     # ------------------------------------------------------------------ #
 
     def start(self):
-        """Launch the periodic measurement process."""
-        if self._running:
-            return
-        self._running = True
-        self.sim.process(self._measure_loop(), name=f"irc-{self.site.name}")
+        """Measure immediately, then re-measure every period (idempotent).
 
-    def _measure_loop(self):
-        while True:
-            self.measure_once()
-            yield self.sim.timeout(self.period)
+        The measurement rounds ride a checkpointable
+        :class:`~repro.sim.periodic.PeriodicTask` rather than a perpetual
+        generator loop, so a world with a running IRC engine can still be
+        settled, snapshotted and restored (the engine checkpoint re-arms
+        the tick).
+        """
+        if self._task.armed:
+            return
+        self.measure_once()
+        self._task.start()
+
+    @property
+    def running(self):
+        """True while the periodic measurement tick is armed."""
+        return self._task.armed
 
     def measure_once(self):
         """One measurement round: refresh delay EWMAs and load snapshots."""
@@ -154,12 +162,17 @@ class IrcEngine:
         return [(est.delay_ewma, est.bytes_in, est.bytes_out) for est in self.estimates]
 
     def snapshot_state(self):
-        return (self.measurement_rounds, self._running,
+        """Round counter and per-provider estimates for world reuse.
+
+        Whether the measurement tick is armed (and when it next fires) is
+        engine state, captured by the simulator's own checkpoint.
+        """
+        return (self.measurement_rounds,
                 [(est.delay_ewma, est.bytes_in, est.bytes_out,
                   est.pledged_in, est.pledged_out) for est in self.estimates])
 
     def restore_state(self, state):
-        self.measurement_rounds, self._running, estimates = state
+        self.measurement_rounds, estimates = state
         for est, values in zip(self.estimates, estimates):
             (est.delay_ewma, est.bytes_in, est.bytes_out,
              est.pledged_in, est.pledged_out) = values

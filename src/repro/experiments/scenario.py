@@ -65,6 +65,12 @@ class ScenarioConfig:
     refresh_on_cached_answers: bool = True
     enable_probing: bool = False
     probe_period: float = 0.5
+    #: Must stay below probe_period: overlapping probe rounds would keep
+    #: foreground work alive across ticks and a full drain would never end.
+    #: None derives ``min(0.3, 0.6 * probe_period)``, which preserves the
+    #: historical 0.3s timeout at the default 0.5s period and scales down
+    #: safely for faster probing.
+    probe_timeout: float = None
     # Topology delay ranges (seconds)
     wan_delay_range: tuple = (0.010, 0.040)
     access_delay_range: tuple = (0.001, 0.005)
@@ -160,7 +166,9 @@ class Scenario:
         for resolver in dns.resolvers.values():
             yield resolver
         if self.control_plane is not None:
-            # Covers its PCEs, IRC engines, registry and miss policy.
+            # Covers its PCEs, IRC engines, RLOC probers, registry and miss
+            # policy.  The IRC measurement and probe *timers* are periodic
+            # tasks living in engine state, checkpointed with the simulator.
             yield self.control_plane
         if self.mapping_system is not None:
             yield self.mapping_system
@@ -206,7 +214,8 @@ def build_scenario(config):
             mapping_ttl=config.mapping_ttl, push_mode=config.push_mode,
             refresh_on_cached_answers=config.refresh_on_cached_answers,
             start_irc=config.start_irc, enable_probing=config.enable_probing,
-            probe_period=config.probe_period)
+            probe_period=config.probe_period,
+            probe_timeout=config.probe_timeout)
         scenario.miss_policy = scenario.control_plane.miss_policy
         scenario.xtrs_by_site = scenario.control_plane.xtrs_by_site
     elif config.control_plane != "plain":

@@ -16,14 +16,21 @@ a scenario config (same control plane, site count, seed, ...) reuse one
 built world — topology, routing plan, DNS, control-plane deployment — and
 only the mutable state (caches, FIB dynamic entries, tracer, RNG streams)
 is reset between cells.  Cells are dispatched to workers *grouped by world
-key* so reuse actually happens.  Cache hit/miss/bypass counts surface in
-the sweep outcome under ``world_cache``.
+key* so reuse actually happens.  Cache hit/miss counts surface in the
+sweep outcome under ``world_cache`` (``bypasses`` is an assertion-only
+zero: periodic background processes are checkpointable, so every world is
+cacheable).
 
 Cell results stream to a JSONL artifact as they complete (one JSON object
 per line, in completion order, each tagged with its world-cache outcome)
-instead of accumulating a single in-memory payload; aggregation reads the
-stream back and orders by cell index, so aggregates and the JSON artifact
-are byte-identical for ``workers=1`` vs ``workers=N``.
+instead of accumulating a single in-memory payload; aggregation is an
+incremental, order-independent fold over the live stream
+(:class:`AggregateFold`) and CSV writing streams row-by-row
+(:class:`CsvStreamWriter`), so >10k-cell grids aggregate holding only
+per-group scalars and per-seed samples — never the per-cell result
+payloads — while aggregates and artifacts stay byte-identical for
+``workers=1`` vs ``workers=N``.  ``include_cells=False`` (CLI
+``--no-json``) skips materialising the per-cell list entirely.
 
 Determinism: each cell's world is either freshly built or restored to the
 post-build checkpoint, so a cell's metrics depend only on its configs —
@@ -47,7 +54,9 @@ or from the command line: ``python -m repro sweep --preset scale --workers 4``.
 """
 
 import csv
+import heapq
 import json
+import math
 import multiprocessing
 import os
 import tempfile
@@ -59,11 +68,13 @@ from repro.experiments.workload import (WorkloadConfig, classify_first_packet,
                                         run_workload)
 from repro.experiments.worldbuild import (WorldBuilder, WorldCacheStats,
                                           build_world, world_key)
-from repro.metrics.stats import mean, summarize
+from repro.metrics.stats import summarize
 from repro.traffic.popularity import SIZE_DISTRIBUTIONS
 
-#: Schema tag written into every JSON artifact.
-SCHEMA = "repro.sweep/v2"
+#: Schema tag written into every JSON artifact.  v3: ``sim_events`` counts
+#: periodic background ticks, aggregate means are exactly-rounded (fsum),
+#: and memory-flat payloads (``--no-json``) omit the ``cells`` key.
+SCHEMA = "repro.sweep/v3"
 
 #: Default per-worker world-cache capacity.
 DEFAULT_MAX_WORLDS = 4
@@ -397,63 +408,110 @@ def _iter_completed(cells, workers, max_worlds):
 # Aggregation
 # --------------------------------------------------------------------- #
 
+#: Result fields that identify one aggregate group (everything but the seed).
+_GROUP_FIELDS = ("control_plane", "num_sites", "zipf_s", "size_dist",
+                 "fail_fraction")
+
+#: Integer counters summed straight off each cell's metrics dict.
+_SUM_FIELDS = ("flows", "packets_lost", "first_packet_drops",
+               "control_messages", "sim_events")
+
+
+class AggregateFold:
+    """Incremental seed-averaging fold, one :meth:`add` per cell result.
+
+    Per-group state is a handful of integer sums, the seed list, and the
+    per-seed float samples the exact means need — so peak memory scales
+    with the number of aggregate groups times the seeds axis, never with
+    the per-cell result payloads (metrics dicts, fate maps, latency
+    summaries), which are released as soon as :meth:`add` returns.
+
+    Float means are computed with :func:`math.fsum` (exactly-rounded), so
+    the output is independent of insertion order — folding a
+    completion-order stream yields byte-identical aggregates to folding an
+    index-sorted list, which is what keeps ``--workers 1`` vs ``N``
+    digests equal.
+    """
+
+    def __init__(self):
+        self._groups = {}
+
+    def add(self, result):
+        key = tuple(result[field] for field in _GROUP_FIELDS)
+        state = self._groups.get(key)
+        if state is None:
+            state = self._groups[key] = {
+                "cells": 0, "seeds": [], "hit_ratios": [], "setup_p95s": [],
+                "dns_p95_max": None,
+                **{name: 0 for name in _SUM_FIELDS},
+            }
+        metrics = result["metrics"]
+        state["cells"] += 1
+        state["seeds"].append(result["seed"])
+        for name in _SUM_FIELDS:
+            state[name] += metrics[name]
+        if metrics["cache_hit_ratio"] is not None:
+            state["hit_ratios"].append(metrics["cache_hit_ratio"])
+        if metrics["setup_latency"] is not None:
+            state["setup_p95s"].append(metrics["setup_latency"]["p95"])
+        if metrics["dns_latency"] is not None:
+            p95 = metrics["dns_latency"]["p95"]
+            if state["dns_p95_max"] is None or p95 > state["dns_p95_max"]:
+                state["dns_p95_max"] = p95
+
+    def finish(self):
+        """The aggregates, sorted by group key."""
+        aggregates = []
+        for key in sorted(self._groups):
+            state = self._groups[key]
+            aggregate = dict(zip(_GROUP_FIELDS, key))
+            aggregate["cells"] = state["cells"]
+            aggregate["seeds"] = sorted(state["seeds"])
+            for name in _SUM_FIELDS:
+                aggregate[name] = state[name]
+            aggregate["cache_hit_ratio_mean"] = _exact_mean(
+                state["hit_ratios"], 6)
+            aggregate["setup_p95_mean"] = _exact_mean(state["setup_p95s"], 9)
+            aggregate["dns_p95_max"] = (None if state["dns_p95_max"] is None
+                                        else round(state["dns_p95_max"], 9))
+            aggregates.append(aggregate)
+        return aggregates
+
+
 def aggregate_cells(results):
-    """Seed-averaged aggregates per (cp, sites, zipf, size_dist, fail)."""
-    groups = {}
+    """Seed-averaged aggregates per (cp, sites, zipf, size_dist, fail).
+
+    A convenience wrapper folding any iterable — including a one-shot
+    generator over the JSONL artifact — through :class:`AggregateFold`;
+    the full cell list is never materialised.
+    """
+    fold = AggregateFold()
     for result in results:
-        key = (result["control_plane"], result["num_sites"], result["zipf_s"],
-               result["size_dist"], result["fail_fraction"])
-        groups.setdefault(key, []).append(result)
-    aggregates = []
-    for key in sorted(groups):
-        members = groups[key]
-        control_plane, num_sites, zipf_s, size_dist, fail_fraction = key
-        hit_ratios = [m["metrics"]["cache_hit_ratio"] for m in members
-                      if m["metrics"]["cache_hit_ratio"] is not None]
-        setup_p95s = [m["metrics"]["setup_latency"]["p95"] for m in members
-                      if m["metrics"]["setup_latency"] is not None]
-        aggregate = {
-            "control_plane": control_plane,
-            "num_sites": num_sites,
-            "zipf_s": zipf_s,
-            "size_dist": size_dist,
-            "fail_fraction": fail_fraction,
-            "cells": len(members),
-            "seeds": sorted(m["seed"] for m in members),
-            "flows": sum(m["metrics"]["flows"] for m in members),
-            "packets_lost": sum(m["metrics"]["packets_lost"] for m in members),
-            "first_packet_drops": sum(m["metrics"]["first_packet_drops"]
-                                      for m in members),
-            "cache_hit_ratio_mean": round(mean(hit_ratios), 6)
-            if hit_ratios else None,
-            "setup_p95_mean": round(mean(setup_p95s), 9) if setup_p95s else None,
-            "dns_p95_max": _max_dns_p95(members),
-            "control_messages": sum(m["metrics"]["control_messages"]
-                                    for m in members),
-            "sim_events": sum(m["metrics"]["sim_events"] for m in members),
-        }
-        aggregates.append(aggregate)
-    return aggregates
+        fold.add(result)
+    return fold.finish()
 
 
-def _max_dns_p95(members):
-    values = [m["metrics"]["dns_latency"]["p95"] for m in members
-              if m["metrics"]["dns_latency"] is not None]
-    return round(max(values), 9) if values else None
+def _exact_mean(values, digits):
+    """Order-independent mean: fsum is exact, so shuffling can't move it."""
+    if not values:
+        return None
+    return round(math.fsum(values) / len(values), digits)
 
 
 # --------------------------------------------------------------------- #
 # Streaming artifact + sweep driver
 # --------------------------------------------------------------------- #
 
-def read_jsonl(path):
-    """Parse a per-cell JSONL artifact back into result dicts.
+def iter_jsonl(path):
+    """Yield result dicts from a per-cell JSONL artifact, one at a time.
 
     The per-line ``world`` tag (cache outcome, scheduling-dependent) is
-    stripped so the returned results are exactly what the deterministic
-    payload carries.
+    stripped so the yielded results are exactly what the deterministic
+    payload carries.  This is the memory-flat access path for re-reading
+    an artifact after the fact: :func:`aggregate_cells` and
+    :func:`write_csv_stream` fold over this generator without ever
+    materialising the full cell list.
     """
-    results = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -461,22 +519,37 @@ def read_jsonl(path):
                 continue
             entry = json.loads(line)
             entry.pop("world", None)
-            results.append(entry)
-    return results
+            yield entry
+
+
+def read_jsonl(path):
+    """Parse a per-cell JSONL artifact back into a list of result dicts."""
+    return list(iter_jsonl(path))
 
 
 def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
-              max_worlds=DEFAULT_MAX_WORLDS):
+              max_worlds=DEFAULT_MAX_WORLDS, include_cells=True):
     """Expand *grid*, run every cell, aggregate, and write artifacts.
 
     Cell results stream to *jsonl_path* as they complete (a temporary file
-    is used — and removed — when no path is given); the payload is then
-    assembled by reading the stream back and ordering by cell index, so
-    aggregates and the JSON artifact never depend on completion order or
-    worker count.  Returns the full payload dict (also what lands in
-    ``json_path``) with the non-deterministic ``world_cache`` summary
-    attached (excluded from :func:`payload_digest`).
+    is used — and removed — when no path is given) while aggregation and
+    CSV writing fold over the same live stream in one pass:
+    :class:`AggregateFold` is order-independent and
+    :class:`CsvStreamWriter` reorders by index with a small heap, so
+    neither depends on completion order or worker count — and neither
+    holds the full cell list.
+
+    With ``include_cells=True`` (the default) the returned payload also
+    carries the index-sorted per-cell results (one JSONL read-back), which
+    is what lands in ``json_path``.  ``include_cells=False`` (the CLI's
+    ``--no-json``) keeps the whole run memory-flat for giant grids: the
+    payload then carries only the grid, aggregates and the
+    non-deterministic ``world_cache`` summary (excluded from
+    :func:`payload_digest`).
     """
+    if json_path is not None and not include_cells:
+        raise ValueError("json_path requires include_cells=True "
+                         "(the JSON payload embeds the per-cell results)")
     cells = expand_grid(grid)
     cache_stats = WorldCacheStats()
     stream_path = jsonl_path
@@ -487,8 +560,17 @@ def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
         stream_path = handle.name
     else:
         handle = open(stream_path, "w")
+    # Aggregation and CSV writing fold over the live results inside the
+    # completion loop — the JSONL artifact is write-only here (the fold is
+    # order-independent and the CSV writer reorders by index itself), so
+    # the memory-flat path never re-parses what it just serialised.
+    fold = AggregateFold()
+    csv_writer = None
     try:
         with handle:
+            if csv_path is not None:
+                csv_writer = CsvStreamWriter(csv_path)
+            streamed = 0
             for result, outcome in _iter_completed(cells, workers, max_worlds):
                 line = dict(result)
                 line["world"] = outcome
@@ -496,22 +578,30 @@ def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
                 handle.write("\n")
                 handle.flush()
                 cache_stats.count(outcome)
-        results = sorted(read_jsonl(stream_path), key=lambda r: r["index"])
+                streamed += 1
+                fold.add(result)
+                if csv_writer is not None:
+                    csv_writer.add(result)
+        payload = {
+            "schema": SCHEMA,
+            "grid": grid.describe(),
+            "num_cells": streamed,
+            "aggregates": fold.finish(),
+            "world_cache": cache_stats.as_dict(),
+        }
+        if include_cells:
+            # The payload embeds the per-cell results: the one read-back,
+            # index-sorted (JSON round-trips numbers exactly, so this list
+            # matches the live results byte-for-byte).
+            payload["cells"] = sorted(iter_jsonl(stream_path),
+                                      key=lambda r: r["index"])
     finally:
+        if csv_writer is not None:
+            csv_writer.close()
         if jsonl_path is None:
             os.unlink(stream_path)
-    payload = {
-        "schema": SCHEMA,
-        "grid": grid.describe(),
-        "num_cells": len(results),
-        "cells": results,
-        "aggregates": aggregate_cells(results),
-        "world_cache": cache_stats.as_dict(),
-    }
     if json_path is not None:
         write_json(payload, json_path)
-    if csv_path is not None:
-        write_csv(payload, csv_path)
     return payload
 
 
@@ -549,30 +639,80 @@ CSV_COLUMNS = ("index", "cell_id", "control_plane", "num_sites", "seed",
                "setup_p95", "control_messages", "control_bytes", "sim_events")
 
 
+def _csv_row(cell):
+    """One cell result flattened to a CSV row (CSV_COLUMNS order)."""
+    metrics = cell["metrics"]
+    dns = metrics["dns_latency"] or {}
+    setup = metrics["setup_latency"] or {}
+    row = {
+        **{key: cell[key] for key in
+           ("index", "cell_id", "control_plane", "num_sites", "seed",
+            "zipf_s", "size_dist", "fail_fraction", "mode")},
+        **{key: metrics[key] for key in
+           ("flows", "flows_failed", "packets_sent",
+            "packets_delivered", "packets_lost", "first_packet_drops",
+            "cache_hit_ratio", "cache_expirations",
+            "resolutions_started", "resolutions_failed",
+            "map_cache_trie_nodes", "map_cache_entries",
+            "control_messages", "control_bytes", "sim_events")},
+        "dns_p50": dns.get("median", ""), "dns_p95": dns.get("p95", ""),
+        "setup_p50": setup.get("median", ""),
+        "setup_p95": setup.get("p95", ""),
+    }
+    return [row[column] for column in CSV_COLUMNS]
+
+
+class CsvStreamWriter:
+    """Per-cell CSV writer fed one result at a time, rows index-sorted.
+
+    Rows are flattened and written as results arrive; out-of-order
+    completions wait in a heap keyed on cell index and are flushed the
+    moment the next expected index shows up, so the artifact is
+    deterministic regardless of completion order.  An index-ordered feed
+    (serial runs, the payload's sorted cells) writes with O(1) buffering;
+    a fanned-out feed buffers the completion *skew* of flattened rows —
+    typically a few world-groups' worth, though a worst-case schedule
+    (the group holding index 0 finishing last) can buffer most rows.
+    Either way only the ~30-column flattened rows are held, never the
+    full per-cell result payloads.
+    """
+
+    def __init__(self, path):
+        self._handle = open(path, "w", newline="")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(CSV_COLUMNS)
+        self._pending = []
+        self._next_index = 0
+
+    def add(self, cell):
+        heapq.heappush(self._pending, (cell["index"], _csv_row(cell)))
+        while self._pending and self._pending[0][0] == self._next_index:
+            self._writer.writerow(heapq.heappop(self._pending)[1])
+            self._next_index += 1
+
+    def close(self):
+        # Index gaps (a partial stream) flush in sorted order at the end.
+        while self._pending:
+            self._writer.writerow(heapq.heappop(self._pending)[1])
+        self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def write_csv_stream(results, path):
+    """Write the per-cell CSV from *results* (any order), rows index-sorted."""
+    with CsvStreamWriter(path) as writer:
+        for cell in results:
+            writer.add(cell)
+
+
 def write_csv(payload, path):
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(CSV_COLUMNS)
-        for cell in payload["cells"]:
-            metrics = cell["metrics"]
-            dns = metrics["dns_latency"] or {}
-            setup = metrics["setup_latency"] or {}
-            row = {
-                **{key: cell[key] for key in
-                   ("index", "cell_id", "control_plane", "num_sites", "seed",
-                    "zipf_s", "size_dist", "fail_fraction", "mode")},
-                **{key: metrics[key] for key in
-                   ("flows", "flows_failed", "packets_sent",
-                    "packets_delivered", "packets_lost", "first_packet_drops",
-                    "cache_hit_ratio", "cache_expirations",
-                    "resolutions_started", "resolutions_failed",
-                    "map_cache_trie_nodes", "map_cache_entries",
-                    "control_messages", "control_bytes", "sim_events")},
-                "dns_p50": dns.get("median", ""), "dns_p95": dns.get("p95", ""),
-                "setup_p50": setup.get("median", ""),
-                "setup_p95": setup.get("p95", ""),
-            }
-            writer.writerow([row[column] for column in CSV_COLUMNS])
+    """Write the per-cell CSV from an assembled payload (compat wrapper)."""
+    write_csv_stream(iter(payload["cells"]), path)
 
 
 # --------------------------------------------------------------------- #
@@ -633,6 +773,7 @@ PRESETS = {
         num_flows=40,
         arrival_rate=15.0,
         packets_per_flow=6,
-        scenario_overrides={"enable_probing": True, "probe_period": 0.3},
+        scenario_overrides={"enable_probing": True, "probe_period": 0.3,
+                            "probe_timeout": 0.15},
     ),
 }

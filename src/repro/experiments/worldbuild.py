@@ -19,13 +19,20 @@ The mechanism is checkpoint/restore rather than rebuild:
   link stats — so a restored world is byte-for-byte the world the build
   produced.  Determinism tests diff fresh-build vs reused-world summaries.
 
-Worlds with perpetual background processes (RLOC probing, a started IRC
-measurement loop) can never drain their event queue, so they are built
-fresh every time (*bypass*); everything else is cacheable.
+Periodic background processes (RLOC probing, a started IRC measurement
+loop) are no obstacle to any of this: they run as engine-owned
+:class:`~repro.sim.periodic.PeriodicTask` objects whose timers are plain
+engine state, not pending generator frames.  Settling drains *foreground*
+work only — an armed periodic tick is not pending work — and the
+simulator's checkpoint captures each task's armed flag, next-fire time and
+tick counter, **re-arming the timers on restore** so a restored probing
+world starts ticking at exactly the instants the fresh build would have.
+Every config is therefore cacheable; there is no bypass path.
 
 :class:`WorldBuilder` is the per-process cache the sweep workers hold: a
-small LRU keyed on the full scenario config, with hit/miss/bypass counters
-that the sweep surfaces in its output.
+small LRU keyed on the full scenario config, with hit/miss counters that
+the sweep surfaces in its output (the historical ``bypasses`` counter is
+retained in the reported dict as an assertion-only zero).
 """
 
 from collections import OrderedDict
@@ -44,30 +51,19 @@ def world_key(config):
     return astuple(config)
 
 
-def reusable(config):
-    """Whether *config* builds a checkpointable (hence cacheable) world.
-
-    Perpetual background processes keep the event queue non-empty forever,
-    and pending events hold live generators that cannot be checkpointed.
-    """
-    return not (config.enable_probing or config.start_irc)
-
-
 def build_world(config):
-    """Build the world for *config*; checkpoint it when reusable.
+    """Build the world for *config* and checkpoint it.
 
-    Reusable worlds are settled first (the queue is drained of finite
-    deployment-time events, e.g. NERD's initial database push) so the
-    checkpoint captures a quiescent world; the workload then starts from
-    the same instant on fresh builds and reuses alike.  The checkpoint is
-    attached as ``scenario.world_checkpoint`` (None when not reusable).
+    The world is settled first (the foreground queue is drained of finite
+    deployment-time events, e.g. NERD's initial database push — armed
+    periodic tasks do not count as pending work) so the checkpoint captures
+    a quiescent world; the workload then starts from the same instant on
+    fresh builds and reuses alike.  The checkpoint is attached as
+    ``scenario.world_checkpoint``.
     """
     scenario = build_scenario(config)
-    if reusable(config):
-        scenario.sim.run()  # settle: drain finite deployment-time events
-        scenario.world_checkpoint = capture_world(scenario)
-    else:
-        scenario.world_checkpoint = None
+    scenario.sim.run()  # settle: drain finite deployment-time events
+    scenario.world_checkpoint = capture_world(scenario)
     return scenario
 
 
@@ -87,7 +83,13 @@ def restore_world(scenario):
 
 
 class WorldCacheStats:
-    """Counters for one :class:`WorldBuilder` (surfaced by the sweep)."""
+    """Counters for one :class:`WorldBuilder` (surfaced by the sweep).
+
+    ``bypasses`` is assertion-only: every world is checkpointable since
+    periodic processes became engine-owned tasks, so nothing increments it
+    — it stays in the reported dict so downstream consumers can assert it
+    is zero.
+    """
 
     __slots__ = ("builds", "hits", "misses", "bypasses")
 
@@ -102,15 +104,14 @@ class WorldCacheStats:
                 "misses": self.misses, "bypasses": self.bypasses}
 
     def count(self, outcome):
-        """Tally one ``scenario_for`` outcome ("hit" | "miss" | "bypass")."""
+        """Tally one ``scenario_for`` outcome ("hit" | "miss")."""
         if outcome == "hit":
             self.hits += 1
-            return
-        self.builds += 1
-        if outcome == "miss":
+        elif outcome == "miss":
+            self.builds += 1
             self.misses += 1
         else:
-            self.bypasses += 1
+            raise ValueError(f"unexpected world-cache outcome {outcome!r}")
 
 
 class WorldBuilder:
@@ -129,7 +130,7 @@ class WorldBuilder:
         self.max_worlds = max_worlds
         self.stats = WorldCacheStats()
         #: Cache outcome of the most recent scenario_for call
-        #: ("hit" | "miss" | "bypass"), for per-cell reporting.
+        #: ("hit" | "miss"), for per-cell reporting.
         self.last_outcome = None
         self._cache = OrderedDict()
 
@@ -138,9 +139,6 @@ class WorldBuilder:
 
     def scenario_for(self, config):
         """The world for *config*: cached-and-reset when possible."""
-        if not reusable(config):
-            self._record("bypass")
-            return build_world(config)
         key = world_key(config)
         scenario = self._cache.get(key)
         if scenario is not None:

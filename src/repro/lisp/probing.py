@@ -38,6 +38,14 @@ class RlocProber:
     """Probes every remote locator cached by one tunnel router."""
 
     def __init__(self, sim, xtr, period=0.5, timeout=0.3, fail_threshold=2):
+        if timeout >= period:
+            # Overlapping rounds would make a full drain (sim.run() with no
+            # until) self-sustaining: each tick's probe deadlines are
+            # foreground work outliving the period, so the next tick always
+            # finds work pending and fires, forever.
+            raise ValueError(
+                f"probe timeout ({timeout}) must be shorter than the probe "
+                f"period ({period}): rounds must not overlap")
         self.sim = sim
         self.xtr = xtr
         self.period = period
@@ -52,7 +60,8 @@ class RlocProber:
         self._consecutive_misses = {}
         self._pending = {}
         self._nonce = 0
-        self._running = False
+        self._task = sim.periodic(self._tick, period,
+                                  name=f"prober-{xtr.node.name}")
         xtr.node.bind_udp(PROBE_PORT, self._on_probe)
         xtr.rloc_liveness = self.is_up
 
@@ -70,16 +79,19 @@ class RlocProber:
         return sorted(addresses)
 
     def start(self):
-        if self._running:
-            return
-        self._running = True
-        self.sim.process(self._probe_loop(), name=f"prober-{self.xtr.node.name}")
+        """Arm the periodic probe tick (idempotent).
 
-    def _probe_loop(self):
-        while True:
-            for address in self.targets():
-                self.sim.process(self._probe_once(address))
-            yield self.sim.timeout(self.period)
+        The first tick fires one full period from now, not immediately: at
+        deploy time the map-cache is empty, so a tick at t=0 would burn a
+        probe round on nothing.  Targets are re-read from the map-cache at
+        every tick, so mappings installed any time before a tick fires are
+        probed by it.
+        """
+        self._task.start()
+
+    def _tick(self):
+        for address in self.targets():
+            self.sim.process(self._probe_once(address))
 
     def _probe_once(self, address):
         self._nonce += 1
@@ -134,3 +146,33 @@ class RlocProber:
         reply = RlocProbe(nonce=message.nonce, is_reply=True)
         node.send_udp(src=packet.ip.dst, dst=packet.ip.src, sport=PROBE_PORT,
                       dport=PROBE_PORT, payload=reply)
+
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self):
+        """Liveness verdicts, miss counters and nonce state for world reuse.
+
+        The periodic tick itself (armed / next-fire time) is engine state,
+        captured by the simulator's own checkpoint.  In-flight probes hold
+        live waiter events that cannot be replayed; the worldbuild layer
+        settles the simulation first, which resolves every pending probe.
+        """
+        if self._pending:
+            raise RuntimeError(
+                f"cannot checkpoint prober {self.xtr.node.name} with "
+                f"{len(self._pending)} in-flight probes")
+        return (frozenset(self.down), dict(self._consecutive_misses),
+                self._nonce, self.probes_sent, self.replies_received,
+                tuple(self.transitions))
+
+    def restore_state(self, state):
+        (down, misses, nonce, sent, received, transitions) = state
+        self.down = set(down)
+        self._consecutive_misses = dict(misses)
+        self._nonce = nonce
+        self.probes_sent = sent
+        self.replies_received = received
+        self.transitions = list(transitions)
+        self._pending = {}

@@ -2,9 +2,10 @@
 
 This package provides the simulation substrate used by every other layer of
 the reproduction: a deterministic event queue (:class:`~repro.sim.engine.Simulator`),
-generator-based processes (:class:`~repro.sim.process.Process`), named and
-reproducible random streams (:class:`~repro.sim.rng.RandomStreams`), and a
-structured event tracer (:class:`~repro.sim.trace.Tracer`).
+generator-based processes (:class:`~repro.sim.process.Process`), engine-owned
+checkpointable periodic tasks (:class:`~repro.sim.periodic.PeriodicTask`),
+named and reproducible random streams (:class:`~repro.sim.rng.RandomStreams`),
+and a structured event tracer (:class:`~repro.sim.trace.Tracer`).
 
 The kernel is intentionally small and fully synchronous: a single priority
 queue orders events by (time, priority, sequence), so two runs with the same
@@ -14,6 +15,7 @@ seed produce byte-identical traces.
 from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError, StopProcess
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.periodic import PeriodicTask
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecord, Tracer
@@ -22,6 +24,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "PeriodicTask",
     "Process",
     "RandomStreams",
     "SimulationError",

@@ -4,6 +4,7 @@ import heapq
 
 from repro.sim.errors import EmptySchedule
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.periodic import PeriodicFire, PeriodicTask
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
@@ -19,6 +20,17 @@ class Simulator:
 
     Events scheduled for the same time are processed in (priority, insertion
     order), so behaviour is fully reproducible for a given seed.
+
+    The queue holds two kinds of entries: *foreground* events (ordinary
+    events, timeouts, process resumptions — finite work the simulation must
+    complete) and *background* ticks of registered
+    :class:`~repro.sim.periodic.PeriodicTask` objects.  Both share one heap
+    so their interleaving is deterministic, but only foreground entries
+    count as pending work: ``run()`` with no ``until`` drains foreground
+    events (firing any background ticks that fall before them in time) and
+    stops when no foreground work remains, even while periodic tasks stay
+    armed.  That is what makes worlds with perpetual periodic processes
+    settle-able and therefore checkpointable.
 
     Parameters
     ----------
@@ -37,6 +49,8 @@ class Simulator:
         self._queue = []
         self._sequence = 0
         self._processed_events = 0
+        self._foreground = 0
+        self._periodic = []
 
     # ------------------------------------------------------------------ #
     # Event construction helpers
@@ -53,6 +67,14 @@ class Simulator:
     def process(self, generator, name=None):
         """Start *generator* as a :class:`Process` (begins at the current time)."""
         return Process(self, generator, name=name)
+
+    def periodic(self, callback, period, name=None):
+        """Register a :class:`PeriodicTask` running *callback* every *period*.
+
+        The task is created disarmed; call ``.start()`` on the result to
+        schedule its first tick (one full period from then).
+        """
+        return PeriodicTask(self, callback, period, name=name)
 
     def any_of(self, events):
         """Event firing when any of *events* fires."""
@@ -81,41 +103,91 @@ class Simulator:
     def _schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
         sequence = self._sequence
         self._sequence += 1
+        self._foreground += 1
         heapq.heappush(self._queue, (self.now + delay, priority, sequence, event))
 
+    def _register_periodic(self, task):
+        self._periodic.append(task)
+
+    def _schedule_periodic(self, task, when):
+        """Push a background tick entry for *task*; returns its sequence."""
+        sequence = self._sequence
+        self._sequence += 1
+        heapq.heappush(self._queue,
+                       (when, PRIORITY_NORMAL, sequence, PeriodicFire(task, task._epoch)))
+        return sequence
+
+    @property
+    def periodic_tasks(self):
+        """Registered periodic tasks, in registration order."""
+        return tuple(self._periodic)
+
+    @property
+    def pending_foreground(self):
+        """Number of scheduled foreground events (diagnostic)."""
+        return self._foreground
+
     def peek(self):
-        """Time of the next scheduled event, or ``float('inf')`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``float('inf')`` if none.
+
+        Stale background entries (ticks invalidated by a re-arm or stop)
+        are discarded from the head of the queue as a side effect.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0][3]
+            if isinstance(entry, PeriodicFire) and not entry.live:
+                heapq.heappop(queue)
+                continue
+            return queue[0][0]
+        return float("inf")
 
     def step(self):
-        """Process exactly one event; raises :class:`EmptySchedule` if none."""
-        if not self._queue:
-            raise EmptySchedule("no events scheduled")
-        when, _priority, _sequence, event = heapq.heappop(self._queue)
-        self.now = when
-        self._processed_events += 1
-        event._run_callbacks()
+        """Process exactly one event or periodic tick, whichever is next.
+
+        Stale background entries are skipped without advancing the clock;
+        raises :class:`EmptySchedule` when nothing (live) is scheduled.
+        """
+        while self._queue:
+            when, _priority, _sequence, entry = heapq.heappop(self._queue)
+            if isinstance(entry, PeriodicFire):
+                if not entry.live:
+                    continue
+                self.now = when
+                self._processed_events += 1
+                entry.task._fire()
+                return
+            self.now = when
+            self._foreground -= 1
+            self._processed_events += 1
+            entry._run_callbacks()
+            return
+        raise EmptySchedule("no events scheduled")
 
     def run(self, until=None):
-        """Run until the queue drains, or simulated time exceeds *until*.
+        """Run until foreground work drains, or simulated time exceeds *until*.
 
-        When *until* is given, the clock is left exactly at *until* even if
-        the next event lies beyond it.
+        With no *until*, events are processed in time order — including
+        ticks of armed periodic tasks that fall before pending events —
+        until no foreground event remains; armed periodic tasks alone do
+        not keep the run alive.  When *until* is given, everything
+        (foreground and periodic) up to and including *until* is processed
+        and the clock is left exactly at *until*.
         """
         if until is None:
-            while self._queue:
+            while self._foreground:
                 self.step()
             return self.now
         if until < self.now:
             raise ValueError(f"run(until={until}) is in the past (now={self.now})")
-        while self._queue and self._queue[0][0] <= until:
+        while self.peek() <= until:
             self.step()
         self.now = until
         return self.now
 
     @property
     def processed_events(self):
-        """Number of events processed so far (diagnostic)."""
+        """Number of events and periodic ticks processed so far (diagnostic)."""
         return self._processed_events
 
     # ------------------------------------------------------------------ #
@@ -123,18 +195,39 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def snapshot_state(self):
-        """Checkpoint the clock and counters (requires a drained queue).
+        """Checkpoint the clock, counters and periodic-task timers.
 
-        Pending events hold live generators and cannot be replayed, so a
-        world is only checkpointable when nothing is scheduled — the
-        worldbuild layer settles the simulation first and refuses to cache
-        worlds with perpetual background processes.
+        Pending foreground events hold live generators and cannot be
+        replayed, so the foreground queue must be drained first (the
+        worldbuild layer settles the simulation before capturing).  Armed
+        periodic tasks are fine: their timer state is plain data, captured
+        here and re-armed on restore.
         """
-        if self._queue:
+        if self._foreground:
             raise RuntimeError(
-                f"cannot checkpoint with {len(self._queue)} pending events")
-        return (self.now, self._sequence, self._processed_events)
+                f"cannot checkpoint with {self._foreground} pending foreground events")
+        return (self.now, self._sequence, self._processed_events,
+                tuple(task.snapshot_state() for task in self._periodic))
 
     def restore_state(self, state):
-        self.now, self._sequence, self._processed_events = state
+        """Restore counters and re-arm every checkpointed periodic task.
+
+        The queue is rebuilt to hold exactly the background tick entries
+        the checkpoint captured — same fire times *and* same sequence
+        numbers, so same-time ties keep breaking identically to the fresh
+        build.
+        """
+        self.now, self._sequence, self._processed_events, periodic = state
         self._queue.clear()
+        self._foreground = 0
+        if len(periodic) != len(self._periodic):
+            raise RuntimeError(
+                f"checkpoint has {len(periodic)} periodic tasks, "
+                f"world has {len(self._periodic)}")
+        for task, task_state in zip(self._periodic, periodic):
+            task.restore_state(task_state)
+            if task.armed:
+                heapq.heappush(self._queue,
+                               (task.next_fire, PRIORITY_NORMAL,
+                                task._entry_sequence,
+                                PeriodicFire(task, task._epoch)))

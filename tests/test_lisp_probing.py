@@ -9,10 +9,12 @@ from repro.net.addresses import IPv4Address
 from repro.net.packet import udp_packet
 
 
-def make_world(enable_probing=True, probe_period=0.2, seed=19):
+def make_world(enable_probing=True, probe_period=0.2, seed=19,
+               probe_timeout=0.15):
     config = ScenarioConfig(control_plane="pce", fig1=True, seed=seed,
                             irc_policy="primary", enable_probing=enable_probing,
-                            probe_period=probe_period)
+                            probe_period=probe_period,
+                            probe_timeout=probe_timeout)
     return build_scenario(config)
 
 
@@ -129,3 +131,78 @@ def test_prober_keeps_probing_down_rlocs():
     sim.run(until=sim.now + 2.0)
     prober = scenario.control_plane.probers[site_s.xtrs[0].name]
     assert site_d.rloc_of(0) in prober.targets()
+
+
+def test_first_tick_fires_one_period_after_start():
+    """Regression: the first tick must fire at t + period, not t = 0.
+
+    At deploy time the map-cache is empty, so a t=0 tick probes nothing.
+    Mappings installed *before the first period elapses* must be picked up
+    by the first tick — targets are re-read from the cache at every tick.
+    """
+    scenario = make_world(probe_period=0.5)
+    sim = scenario.sim
+    site_s, site_d = scenario.topology.sites
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    assert prober.targets() == []          # empty cache at startup
+    assert prober._task.armed
+    assert prober._task.next_fire == pytest.approx(0.5)
+
+    # Fill the cache mid-period (t=0.2), well before the first tick.
+    def fill():
+        yield sim.timeout(0.2)
+        itr = scenario.control_plane.xtrs_by_site[site_s.index][0]
+        itr.install_mapping(
+            MappingRecord(str(site_d.eid_prefix),
+                          tuple(RlocEntry(rloc) for rloc in site_d.rlocs())),
+            origin="test")
+
+    sim.process(fill())
+    sim.run(until=0.45)
+    assert prober.probes_sent == 0         # nothing fired before t + period
+    sim.run(until=0.55)
+    assert prober.probes_sent == len(site_d.rlocs())  # first tick saw the fill
+
+
+def test_prober_snapshot_round_trips_liveness_state():
+    """down set, consecutive misses and nonce state survive a round trip."""
+    scenario = make_world(probe_period=0.5)   # > probe timeout: rounds don't overlap
+    sim = scenario.sim
+    site_s, site_d, _source = start_flow(scenario)
+    links = site_d.access_links[0]
+    links["uplink"].up = False
+    links["downlink"].up = False
+    sim.run(until=sim.now + 3.0)
+    sim.run()   # settle in-flight probes (foreground drain; ticks stay armed)
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    assert prober.down and prober._nonce > 0
+
+    state = prober.snapshot_state()
+    before = (set(prober.down), dict(prober._consecutive_misses),
+              prober._nonce, prober.probes_sent, prober.replies_received,
+              list(prober.transitions))
+    prober.down.clear()
+    prober._consecutive_misses.clear()
+    prober._nonce = 0
+    prober.probes_sent = prober.replies_received = 0
+    prober.transitions.clear()
+    prober.restore_state(state)
+    after = (set(prober.down), dict(prober._consecutive_misses),
+             prober._nonce, prober.probes_sent, prober.replies_received,
+             list(prober.transitions))
+    assert after == before
+    assert prober._pending == {}
+
+
+def test_prober_snapshot_refuses_in_flight_probes():
+    scenario = make_world(probe_period=0.2)
+    sim = scenario.sim
+    site_s, _site_d, _source = start_flow(scenario)
+    prober = scenario.control_plane.probers[site_s.xtrs[0].name]
+    # Run to an instant right after a tick: probes are in flight.
+    sim.run(until=sim.now + 0.2)
+    if not prober._pending:             # settle landed between rounds
+        sim.run(until=prober._task.next_fire)
+    assert prober._pending
+    with pytest.raises(RuntimeError):
+        prober.snapshot_state()

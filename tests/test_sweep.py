@@ -1,14 +1,17 @@
 """Tests for the parameter-sweep engine: expansion, determinism, artifacts."""
 
 import csv
+import gc
 import json
+import random
+import weakref
 
 import pytest
 
 from repro.cli import main
 from repro.experiments.sweep import (PRESETS, SweepGrid, aggregate_cells,
                                      expand_grid, payload_digest, run_cell,
-                                     run_sweep)
+                                     run_sweep, write_csv, write_csv_stream)
 
 TINY = SweepGrid(name="tiny", control_planes=("pce", "alt"), site_counts=(3,),
                  seeds=(1, 2), zipf_values=(1.0,), num_flows=8,
@@ -62,7 +65,7 @@ def test_sweep_artifacts(tmp_path):
     payload = run_sweep(TINY, workers=1, json_path=str(json_path),
                         csv_path=str(csv_path))
     on_disk = json.loads(json_path.read_text())
-    assert on_disk["schema"] == "repro.sweep/v2"
+    assert on_disk["schema"] == "repro.sweep/v3"
     assert on_disk["num_cells"] == len(payload["cells"]) == 4
     assert payload_digest(on_disk) == payload_digest(payload)
     with open(csv_path) as handle:
@@ -127,6 +130,97 @@ def test_aggregate_cells_sorted_and_stable():
     payload = run_sweep(TINY, workers=1)
     reordered = list(reversed(payload["cells"]))
     assert aggregate_cells(reordered) == payload["aggregates"]
+
+
+class _TrackedResult(dict):
+    """Weakref-able result dict, to prove the fold releases each cell."""
+
+
+def test_aggregation_never_holds_the_full_cell_list():
+    """aggregate_cells folds a one-shot stream; no cell outlives its turn."""
+    payload = run_sweep(TINY, workers=1)
+    refs = []
+
+    def stream():
+        for cell in payload["cells"]:
+            tracked = _TrackedResult(json.loads(json.dumps(cell)))
+            refs.append(weakref.ref(tracked))
+            yield tracked
+
+    aggregates = aggregate_cells(stream())
+    assert aggregates == payload["aggregates"]
+    gc.collect()
+    alive = [ref for ref in refs if ref() is not None]
+    assert alive == [], f"fold retained {len(alive)} cell results"
+
+
+def test_aggregation_is_completion_order_independent():
+    """Any permutation of the stream folds to byte-identical aggregates."""
+    payload = run_sweep(TINY, workers=1)
+    shuffled = list(payload["cells"])
+    random.Random(5).shuffle(shuffled)
+    assert json.dumps(aggregate_cells(iter(shuffled)), sort_keys=True) \
+        == json.dumps(payload["aggregates"], sort_keys=True)
+
+
+def test_write_csv_stream_reorders_by_index(tmp_path):
+    payload = run_sweep(TINY, workers=1)
+    sorted_path = tmp_path / "sorted.csv"
+    shuffled_path = tmp_path / "shuffled.csv"
+    write_csv(payload, str(sorted_path))
+    shuffled = list(payload["cells"])
+    random.Random(9).shuffle(shuffled)
+    write_csv_stream(iter(shuffled), str(shuffled_path))
+    assert shuffled_path.read_bytes() == sorted_path.read_bytes()
+    with open(sorted_path) as handle:
+        indexes = [int(row["index"]) for row in csv.DictReader(handle)]
+    assert indexes == sorted(indexes)
+
+
+def test_run_sweep_without_cells_payload(tmp_path):
+    """include_cells=False: memory-flat payload, same aggregates, CSV intact."""
+    csv_path = tmp_path / "flat.csv"
+    flat = run_sweep(TINY, workers=1, include_cells=False,
+                     csv_path=str(csv_path))
+    full = run_sweep(TINY, workers=1)
+    assert "cells" not in flat
+    assert flat["num_cells"] == full["num_cells"]
+    assert flat["aggregates"] == full["aggregates"]
+    with open(csv_path) as handle:
+        assert len(list(csv.DictReader(handle))) == full["num_cells"]
+    with pytest.raises(ValueError):
+        run_sweep(TINY, workers=1, include_cells=False, json_path="x.json")
+
+
+def test_probing_sweep_hits_world_cache():
+    """Failover-style cells (probing enabled) reuse cached worlds: no bypass."""
+    grid = SweepGrid(name="probing", control_planes=("pce",), site_counts=(3,),
+                     seeds=(21,), fail_fractions=(0.0, 0.5), fail_at=0.3,
+                     repair_at=1.5, num_flows=8, arrival_rate=10.0,
+                     packets_per_flow=4,
+                     scenario_overrides={"enable_probing": True,
+                                         "probe_period": 0.3,
+                                         "probe_timeout": 0.15})
+    payload = run_sweep(grid, workers=1)
+    cache = payload["world_cache"]
+    assert cache["bypasses"] == 0
+    assert cache["hits"] == 1 and cache["builds"] == 1
+    assert payload_digest(payload) == payload_digest(run_sweep(grid, workers=2))
+
+
+def test_cli_sweep_no_json(tmp_path, capsys):
+    csv_path = tmp_path / "cells.csv"
+    code = main(["sweep", "--preset", "smoke", "--workers", "1",
+                 "--sites", "3", "--seeds", "1", "--flows", "6",
+                 "--no-json", "--csv", str(csv_path),
+                 "--jsonl", str(tmp_path / "cells.jsonl")])
+    assert code == 0
+    assert "sweep 'smoke'" in capsys.readouterr().out
+    with open(csv_path) as handle:
+        assert len(list(csv.DictReader(handle))) == 2
+    assert main(["sweep", "--preset", "smoke", "--no-json",
+                 "--json", str(tmp_path / "x.json")]) == 1
+    assert "--no-json" in capsys.readouterr().out
 
 
 def test_grid_overrides_may_shadow_axis_fields():

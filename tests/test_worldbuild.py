@@ -9,7 +9,7 @@ from repro.experiments.sweep import (SweepGrid, expand_grid, payload_digest,
                                      read_jsonl, run_cell, run_sweep)
 from repro.experiments.workload import WorkloadConfig, run_workload
 from repro.experiments.worldbuild import (WorldBuilder, build_world,
-                                          restore_world, reusable, world_key)
+                                          restore_world, world_key)
 from repro.net.routing import (RoutingPlan, build_adjacency,
                                install_mesh_routes, mesh_fingerprint,
                                path_delay)
@@ -141,15 +141,82 @@ def test_restore_world_resets_clock_and_caches():
     assert scenario.stubs == {}
 
 
-def test_probing_worlds_bypass_the_cache():
+def test_probing_worlds_hit_the_cache():
+    """Probing/IRC worlds are checkpointable: no bypass path remains."""
     config = ScenarioConfig(control_plane="pce", num_sites=3, seed=2,
-                            enable_probing=True, tracing=False)
-    assert not reusable(config)
+                            enable_probing=True, start_irc=True, tracing=False)
     builder = WorldBuilder()
     first = builder.scenario_for(config)
     second = builder.scenario_for(config)
-    assert first is not second
-    assert builder.stats.bypasses == 2 and builder.stats.hits == 0
+    assert first is second
+    assert first.world_checkpoint is not None
+    assert builder.stats.hits == 1 and builder.stats.misses == 1
+    assert builder.stats.bypasses == 0
+
+
+def _failover_cell(**grid_kwargs):
+    grid_kwargs.setdefault("scenario_overrides",
+                           {"enable_probing": True, "probe_period": 0.3,
+                            "probe_timeout": 0.15})
+    grid = SweepGrid(control_planes=("pce",), site_counts=(3,), seeds=(13,),
+                     fail_fractions=(1.0,), fail_at=0.3, repair_at=2.0,
+                     num_flows=12, arrival_rate=10.0, packets_per_flow=5,
+                     **grid_kwargs)
+    return expand_grid(grid)[0]
+
+
+def test_failover_cell_fresh_vs_restored_byte_identical():
+    """A probing+failure cell on a reused world == the same cell run fresh.
+
+    This is the satellite contract for snapshot/restore of prober state
+    (down set, consecutive misses, nonces) and IRC EWMA estimates: the
+    failover summaries must not differ by a single byte.
+    """
+    cell = _failover_cell()
+    fresh = run_cell(cell)
+    builder = WorldBuilder()
+    first = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "miss"
+    reused = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "hit"
+    assert json.dumps(fresh, sort_keys=True) == json.dumps(first, sort_keys=True)
+    assert json.dumps(fresh, sort_keys=True) == json.dumps(reused, sort_keys=True)
+
+
+def test_prober_and_irc_state_round_trip_through_restore():
+    """Down sets, miss counters, nonces and EWMAs all reset on restore."""
+    config = ScenarioConfig(control_plane="pce", num_sites=3, seed=13,
+                            enable_probing=True, start_irc=True,
+                            probe_period=0.3, probe_timeout=0.15,
+                            tracing=False)
+    scenario = build_world(config)
+
+    def prober_states():
+        return {name: (frozenset(p.down), dict(p._consecutive_misses),
+                       p._nonce, p.probes_sent, p.replies_received,
+                       tuple(p.transitions))
+                for name, p in scenario.control_plane.probers.items()}
+
+    def irc_states():
+        return {index: irc.snapshot_state()
+                for index, irc in scenario.control_plane.ircs.items()}
+
+    def task_states():
+        return [task.snapshot_state() for task in scenario.sim.periodic_tasks]
+
+    baseline = (prober_states(), irc_states(), task_states())
+
+    # Dirty this world: run a failing workload so probers mark RLOCs down.
+    from repro.experiments.sweep import _apply_failures
+    _apply_failures(scenario, _failover_cell().failure)
+    run_workload(scenario, WorkloadConfig(num_flows=12, arrival_rate=10.0,
+                                          packets_per_flow=5))
+    assert any(p.probes_sent > 0
+               for p in scenario.control_plane.probers.values())
+    assert (prober_states(), irc_states(), task_states()) != baseline
+
+    restore_world(scenario)
+    assert (prober_states(), irc_states(), task_states()) == baseline
 
 
 def test_world_key_distinguishes_configs():

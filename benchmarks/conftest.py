@@ -6,8 +6,6 @@ table, and asserts the expected *shape* (who wins, by what kind of factor)
 via the experiment's ``check_shape``.
 """
 
-import pytest
-
 
 def run_and_check(benchmark, run, check, headers, title):
     """Run an experiment under the benchmark timer, print, and shape-check."""

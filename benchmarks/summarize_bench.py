@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Condense pytest-benchmark JSON into a compact perf-trajectory record.
+
+CI runs the smoke benchmarks with ``--benchmark-json`` and feeds the
+(large, machine-detailed) output through this script to produce
+``BENCH_ci.json``: one median per benchmark plus the named speedup ratios
+the paper reproduction leans on (world reuse, snapshot restores).  The
+compact file is uploaded as a workflow artifact per run, so the perf
+trajectory is machine-readable instead of living only in log scrollback.
+
+Usage::
+
+    python -m pytest benchmarks -k "not 500" --benchmark-json bench.json
+    python benchmarks/summarize_bench.py bench.json -o BENCH_ci.json
+"""
+
+import argparse
+import json
+import sys
+
+#: Named speedup ratios: name -> (numerator benchmark, denominator
+#: benchmark), each matched on the exact pytest-benchmark ``name``.  A
+#: ratio is emitted only when both sides ran (the 500-site benchmarks are
+#: local-only, so CI summaries simply omit their ratios).
+SPEEDUP_RATIOS = {
+    # In-process checkpoint reuse: build vs cached-world restore.
+    "world_reuse_120": ("test_bench_world_build[120]",
+                        "test_bench_world_reuse_speedup"),
+    # Shared snapshot store, live tier: build vs fork-inherited restore.
+    "live_snapshot_restore_60": ("test_bench_world_build[60]",
+                                 "test_bench_live_store_restore_speedup"),
+    # Shared snapshot store, file tier: cold build+serialize vs warm blob
+    # deserialization (what a warm --snapshot-dir rerun saves per world).
+    "file_snapshot_restore_60": ("test_bench_file_store_cold_build",
+                                 "test_bench_file_store_restore_speedup"),
+    # 500-site amortization (local runs only).
+    "live_snapshot_restore_500": ("test_bench_world_build[500]",
+                                  "test_bench_snapshot_500_site_amortization"),
+}
+
+SCHEMA = "repro.bench/v1"
+
+
+def summarize(raw):
+    """The compact summary dict for one pytest-benchmark JSON payload."""
+    medians = {}
+    for bench in raw.get("benchmarks", []):
+        medians[bench["name"]] = round(bench["stats"]["median"], 9)
+    speedups = {}
+    for name, (numerator, denominator) in SPEEDUP_RATIOS.items():
+        if numerator in medians and denominator in medians \
+                and medians[denominator] > 0:
+            speedups[name] = round(medians[numerator] / medians[denominator], 3)
+    summary = {
+        "schema": SCHEMA,
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": dict(sorted(medians.items())),
+        "speedups": speedups,
+    }
+    commit = raw.get("commit_info") or {}
+    if commit.get("id"):
+        summary["commit"] = commit["id"]
+    return summary
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", help="pytest-benchmark --benchmark-json file")
+    parser.add_argument("-o", "--output", default="BENCH_ci.json",
+                        help="compact summary destination (default: "
+                             "BENCH_ci.json)")
+    args = parser.parse_args(argv)
+    with open(args.input) as handle:
+        raw = json.load(handle)
+    summary = summarize(raw)
+    with open(args.output, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"{args.output}: {len(summary['benchmarks'])} medians, "
+          f"{len(summary['speedups'])} speedup ratios")
+    for name, ratio in sorted(summary["speedups"].items()):
+        print(f"  {name}: {ratio:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ import pytest
 
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.worldbuild import WorldBuilder, build_world
-from repro.net.routing import RoutingPlan, install_mesh_routes
+from repro.net.routing import install_mesh_routes
 from repro.net.topology import build_topology
 from repro.sim import Simulator
 

@@ -16,10 +16,11 @@ Parameter sweeps (``repro sweep``)
 
 ``sweep`` expands a declarative grid (control plane x site count x seed x
 Zipf skew x flow-size distribution x RLOC-failure fraction) into
-scenario/workload cells, fans them out across a persistent worker pool
-whose workers cache built worlds (cells sharing a scenario config reuse
-one topology + routing plan), streams per-cell results to a JSONL
-artifact, and writes aggregated JSON/CSV artifacts::
+scenario/workload cells, pre-builds each distinct world exactly once into
+a shared snapshot store (workers restore serialized world blobs instead
+of rebuilding; ``--snapshot-dir`` persists them across invocations),
+fans the cells out across a persistent worker pool, streams per-cell
+results to a JSONL artifact, and writes aggregated JSON/CSV artifacts::
 
     python -m repro sweep                       # "smoke" preset, 1 worker
     python -m repro sweep --preset scale --workers 4 \\
@@ -27,6 +28,8 @@ artifact, and writes aggregated JSON/CSV artifacts::
     python -m repro sweep --preset failover     # RLOC failures mid-workload
     python -m repro sweep --preset baselines --sites 4 16 --seeds 1 2 3 \\
         --size-dists constant pareto
+    python -m repro sweep --preset scale --workers 4 \\
+        --snapshot-dir ~/.cache/repro-worlds    # rerun: zero world builds
 
 Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
 (``--control-planes/--sites/--seeds/--zipf/--size-dists/--fail-fractions/
@@ -39,6 +42,7 @@ memory.
 """
 
 import argparse
+import os
 import sys
 
 from repro.metrics import format_table
@@ -155,7 +159,14 @@ def build_parser():
                        help="stream per-cell results here (default: derived "
                             "from --json, else sweep-<preset>.cells.jsonl)")
     sweep.add_argument("--max-worlds", type=int, default=None,
-                       help="per-worker world-cache capacity")
+                       help="per-worker world-cache capacity (the shared "
+                            "snapshot store additionally holds one world "
+                            "per distinct world key for the run's duration)")
+    sweep.add_argument("--snapshot-dir", default=None,
+                       help="persistent world-snapshot store: built worlds "
+                            "are serialized here (content-addressed by world "
+                            "key + schema version) and repeated sweeps "
+                            "restore instead of rebuilding")
     sweep.add_argument("--control-planes", nargs="+", default=None)
     sweep.add_argument("--sites", nargs="+", type=int, default=None)
     sweep.add_argument("--seeds", nargs="+", type=int, default=None)
@@ -219,7 +230,9 @@ def _run_sweep_command(args):
             csv_path=args.csv, jsonl_path=jsonl_path,
             max_worlds=(args.max_worlds if args.max_worlds is not None
                         else DEFAULT_MAX_WORLDS),
-            include_cells=not args.no_json)
+            include_cells=not args.no_json,
+            snapshot_dir=(None if args.snapshot_dir is None
+                          else os.path.expanduser(args.snapshot_dir)))
     except ValueError as error:
         print(f"sweep error: {error}")
         return 1
@@ -236,8 +249,16 @@ def _run_sweep_command(args):
                         "setup_p95"), rows,
                        title=f"sweep '{grid.name}': {payload['num_cells']} cells"))
     cache = payload["world_cache"]
-    print(f"world cache: {cache['hits']} hits / {cache['builds']} builds "
+    print(f"world cache: {cache['hits']} hits / {cache['restores']} restores "
+          f"/ {cache['builds']} builds "
           f"({cache['misses']} misses, {cache['bypasses']} bypasses)")
+    store = cache.get("store")
+    if store is not None:
+        kind = "persistent" if store["persistent"] else "shared"
+        print(f"snapshot store ({kind}): {store['builds']} built / "
+              f"{store['blob_hits']} blob hits / "
+              f"{store['invalidated']} invalidated, "
+              f"{store['worlds']} worlds held")
     for path, label in ((args.json, "json"), (args.csv, "csv"),
                         (jsonl_path, "jsonl")):
         if path is not None:

@@ -140,43 +140,11 @@ class PceControlPlane:
     # ------------------------------------------------------------------ #
 
     def _make_etr_hook(self, site, xtr):
-        def on_decap(_xtr, inner, outer_ip, first_packet):
-            if not first_packet:
-                return
-            source = inner.ip.src
-            if not EID_SPACE.contains(source):
-                return
-            reverse = MappingRecord(IPv4Prefix(int(source), 32),
-                                    (RlocEntry(outer_ip.src),), ttl=self.mapping_ttl)
-            # (ii) install locally so this xTR can carry the reverse flow...
-            xtr.install_mapping(reverse, origin="reverse-local", ttl=self.mapping_ttl)
-            # (iii) ...then multicast to sibling ETRs and the PCE database.
-            announce = ReverseMappingAnnounce(mapping=reverse, origin_etr=xtr.rloc)
-            self.reverse_announcements += 1
-            for b, sibling in enumerate(site.xtrs):
-                if sibling is xtr.node:
-                    continue
-                xtr.node.send_udp(src=site.xtr_control_address(site.xtrs.index(xtr.node)),
-                                  dst=site.xtr_control_address(b),
-                                  sport=PORT_REVERSE, dport=PORT_REVERSE,
-                                  payload=announce)
-            xtr.node.send_udp(src=site.xtr_control_address(site.xtrs.index(xtr.node)),
-                              dst=site.pce_address, sport=PORT_REVERSE,
-                              dport=PORT_REVERSE, payload=announce)
-            self.sim.trace.record(self.sim.now, xtr.node.name, "etr.reverse-multicast",
-                                  prefix=str(reverse.eid_prefix),
-                                  rloc=str(outer_ip.src))
-
-        return on_decap
+        return EtrReverseHook(self, site, xtr)
 
     @staticmethod
     def _make_pce_reverse_handler(pce):
-        def handler(packet, _node):
-            message = packet.payload
-            if isinstance(message, ReverseMappingAnnounce):
-                pce.learn_reverse_mapping(message.mapping)
-
-        return handler
+        return PceReverseHandler(pce)
 
     def _on_reverse_announce(self, packet, node):
         message = packet.payload
@@ -286,6 +254,67 @@ class PceControlPlane:
             self.ircs[index].restore_state(irc_state)
         for name, prober_state in state["probers"].items():
             self.probers[name].restore_state(prober_state)
+
+
+class EtrReverseHook:
+    """ETR decapsulation hook: first data packet -> reverse-mapping multicast.
+
+    A callable class rather than a closure so built worlds stay picklable
+    (snapshot blobs serialize the whole object graph, and xTRs hold these in
+    ``decap_listeners``).
+    """
+
+    __slots__ = ("control_plane", "site", "xtr")
+
+    def __init__(self, control_plane, site, xtr):
+        self.control_plane = control_plane
+        self.site = site
+        self.xtr = xtr
+
+    def __call__(self, _xtr, inner, outer_ip, first_packet):
+        if not first_packet:
+            return
+        source = inner.ip.src
+        if not EID_SPACE.contains(source):
+            return
+        control_plane, site, xtr = self.control_plane, self.site, self.xtr
+        reverse = MappingRecord(IPv4Prefix(int(source), 32),
+                                (RlocEntry(outer_ip.src),),
+                                ttl=control_plane.mapping_ttl)
+        # (ii) install locally so this xTR can carry the reverse flow...
+        xtr.install_mapping(reverse, origin="reverse-local",
+                            ttl=control_plane.mapping_ttl)
+        # (iii) ...then multicast to sibling ETRs and the PCE database.
+        announce = ReverseMappingAnnounce(mapping=reverse, origin_etr=xtr.rloc)
+        control_plane.reverse_announcements += 1
+        source = site.xtr_control_address(site.xtrs.index(xtr.node))
+        for b, sibling in enumerate(site.xtrs):
+            if sibling is xtr.node:
+                continue
+            xtr.node.send_udp(src=source, dst=site.xtr_control_address(b),
+                              sport=PORT_REVERSE, dport=PORT_REVERSE,
+                              payload=announce)
+        xtr.node.send_udp(src=source, dst=site.pce_address,
+                          sport=PORT_REVERSE, dport=PORT_REVERSE,
+                          payload=announce)
+        sim = control_plane.sim
+        sim.trace.record(sim.now, xtr.node.name, "etr.reverse-multicast",
+                         prefix=str(reverse.eid_prefix),
+                         rloc=str(outer_ip.src))
+
+
+class PceReverseHandler:
+    """UDP handler feeding reverse-mapping announces into a PCE (picklable)."""
+
+    __slots__ = ("pce",)
+
+    def __init__(self, pce):
+        self.pce = pce
+
+    def __call__(self, packet, _node):
+        message = packet.payload
+        if isinstance(message, ReverseMappingAnnounce):
+            self.pce.learn_reverse_mapping(message.mapping)
 
 
 def deploy_pce_control_plane(sim, topology, dns_system, **kwargs):

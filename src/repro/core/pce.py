@@ -29,8 +29,6 @@ from repro.core.messages import (
 )
 from repro.dns.message import DnsMessage, DnsWireError
 from repro.lisp import EID_SPACE
-from repro.net.fib import FibEntry
-from repro.net.addresses import IPv4Prefix
 
 DNS_PORT = 53
 

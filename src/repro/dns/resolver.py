@@ -14,7 +14,6 @@ paper's "PCE_S obtains E_S by IPC with the DNS" (Step 1).
 from repro.dns.cache import TtlCache
 from repro.dns.message import DnsMessage, DnsWireError, FLAG_RD, make_query, make_reply
 from repro.dns.records import RCODE_NXDOMAIN, RCODE_SERVFAIL, TYPE_A, TYPE_CNAME
-from repro.dns.zone import Zone
 from repro.net.host import RequestTimeout
 
 DNS_PORT = 53

@@ -9,17 +9,23 @@ x RLOC-failure fraction), :func:`expand_grid` turns it into concrete
 :class:`~repro.experiments.workload.WorkloadConfig` pair per cell — and
 :func:`run_sweep` fans the cells out across worker processes.
 
-Worlds are built through :mod:`repro.experiments.worldbuild`: the worker
-pool is *persistent* and every worker keeps a keyed
-:class:`~repro.experiments.worldbuild.WorldBuilder` cache, so cells sharing
-a scenario config (same control plane, site count, seed, ...) reuse one
-built world — topology, routing plan, DNS, control-plane deployment — and
-only the mutable state (caches, FIB dynamic entries, tracer, RNG streams)
-is reset between cells.  Cells are dispatched to workers *grouped by world
-key* so reuse actually happens.  Cache hit/miss counts surface in the
-sweep outcome under ``world_cache`` (``bypasses`` is an assertion-only
-zero: periodic background processes are checkpointable, so every world is
-cacheable).
+Worlds are built through :mod:`repro.experiments.worldbuild`.  Fan-out
+runs pre-build every distinct world *exactly once* into a shared
+:class:`~repro.experiments.worldbuild.SnapshotStore`, then dispatch
+cells to workers individually — no world-key affinity grouping, any
+worker serves any cell — because a worker whose in-process LRU misses
+simply restores from the shared store instead of rebuilding: live
+fork-inherited worlds reset in place on ``fork`` platforms, serialized
+blobs (file-backed via ``snapshot_dir``) everywhere else.  On the fork
+path the build stage runs serially in the parent with the cyclic GC
+paused — measured cheaper per world than the build-pool + serialize +
+deserialize round trip, though a grid with many distinct worlds pays it
+unparallelized; the short-lived build pool is the spawn-platform path.
+A persistent ``snapshot_dir`` carries blobs across invocations, so a
+repeated sweep performs zero builds.  Cache and store counters surface
+in the sweep outcome under ``world_cache`` (``bypasses`` is an
+assertion-only zero: periodic background processes are checkpointable,
+so every world is cacheable).
 
 Cell results stream to a JSONL artifact as they complete (one JSON object
 per line, in completion order, each tagged with its world-cache outcome)
@@ -59,6 +65,7 @@ import json
 import math
 import multiprocessing
 import os
+import shutil
 import tempfile
 from dataclasses import dataclass, field, fields
 
@@ -66,8 +73,9 @@ from repro.experiments.e9_failover import schedule_access_failure
 from repro.experiments.scenario import CONTROL_PLANES, ScenarioConfig
 from repro.experiments.workload import (WorkloadConfig, classify_first_packet,
                                         run_workload)
-from repro.experiments.worldbuild import (WorldBuilder, WorldCacheStats,
-                                          build_world, world_key)
+from repro.experiments.worldbuild import (SnapshotStore, WorldBuilder,
+                                          WorldCacheStats, build_world,
+                                          serialize_world, world_key)
 from repro.metrics.stats import summarize
 from repro.traffic.popularity import SIZE_DISTRIBUTIONS
 
@@ -330,78 +338,128 @@ def _round_summary(summary):
 
 
 # --------------------------------------------------------------------- #
-# Fan-out: persistent workers with per-worker world caches
+# Fan-out: shared snapshot store + per-worker world caches
 # --------------------------------------------------------------------- #
 
-def group_cells_by_world(cells, workers=1):
-    """Cells grouped by world key, groups in first-appearance order.
+def distinct_world_configs(cells):
+    """The distinct scenario configs among *cells*, first-appearance order."""
+    seen = set()
+    configs = []
+    for cell in cells:
+        key = world_key(cell.scenario)
+        if key not in seen:
+            seen.add(key)
+            configs.append(cell.scenario)
+    return configs
 
-    A group's cells share one built world; dispatching whole groups to
-    workers is what lets the per-worker
-    :class:`~repro.experiments.worldbuild.WorldBuilder` reuse it.  When
-    fewer groups than *workers* exist, the largest groups are split so the
-    pool stays busy — each split costs one extra world build on whichever
-    worker receives it, a good trade once workload time dominates.
+
+def order_cells_by_world(cells):
+    """Cells reordered so same-world cells are adjacent (serial runs).
+
+    The inline builder's LRU then reuses each world across all of its
+    cells regardless of ``max_worlds``; worlds appear in first-appearance
+    order, matching the historical grouped dispatch.
     """
     grouped = {}
     for cell in cells:
         grouped.setdefault(world_key(cell.scenario), []).append(cell)
-    groups = list(grouped.values())
-    while len(groups) < workers:
-        largest = max(groups, key=len)
-        if len(largest) < 2:
-            break
-        half = len(largest) // 2
-        groups[groups.index(largest)] = largest[:half]
-        groups.append(largest[half:])
-    return groups
+    return [cell for group in grouped.values() for cell in group]
+
+
+def _build_blob(config):
+    """Build-stage worker entry point: one world built and serialized."""
+    return serialize_world(build_world(config))
+
+
+def prebuild_worlds(store, cells, workers=1, live=False):
+    """Guarantee *store* holds a snapshot of every distinct world.
+
+    This is the sweep's only build stage — each world is built exactly
+    once, and run workers afterwards restore from the store instead of
+    building.  With ``live=True`` (fork platforms and serial runs)
+    worlds land in the store's live tier — workers inherit the built
+    graphs and reset them in place — while a store ``directory`` still
+    gets its persistent blobs (warm directories hydrate the live tier
+    instead of rebuilding).  Without the live tier (spawn fan-out),
+    missing worlds are built in parallel across a short-lived build pool
+    when *workers* allows and serialized into blobs; worlds already
+    stored are validated and trusted without a rebuild.
+    """
+    if live:
+        for config in distinct_world_configs(cells):
+            store.ensure(config, live=True)
+        return
+    missing = [config for config in distinct_world_configs(cells)
+               if not store.has_snapshot(config)]
+    if not missing:
+        return
+    if workers > 1 and len(missing) > 1:
+        context = multiprocessing.get_context()
+        processes = min(workers, len(missing))
+        with context.Pool(processes=processes) as pool:
+            # imap (not map): blobs stream back one at a time, so peak
+            # parent memory is one in-flight blob, not the whole grid's.
+            for config, blob in zip(missing,
+                                    pool.imap(_build_blob, missing,
+                                              chunksize=1)):
+                store.put_built(config, blob)
+    else:
+        for config in missing:
+            store.ensure(config)
 
 
 #: Per-process world cache, created by the pool initializer.
 _WORKER_BUILDER = None
+#: Parent-side store, set around pool creation so ``fork`` workers inherit
+#: its blobs as read-only memory (spawn workers re-import and see None).
+_SHARED_STORE = None
 
 
-def _init_worker(max_worlds):
+def _init_worker(max_worlds, snapshot_dir):
     global _WORKER_BUILDER
-    _WORKER_BUILDER = WorldBuilder(max_worlds=max_worlds)
+    store = _SHARED_STORE
+    if store is None and snapshot_dir is not None:
+        store = SnapshotStore(snapshot_dir)
+    _WORKER_BUILDER = WorldBuilder(max_worlds=max_worlds, store=store)
 
 
-def _run_cell_group(cells):
-    """Worker entry point: run one world-sharing group of cells in order.
+def _run_single_cell(cell):
+    """Worker entry point: one cell, any world (no affinity grouping).
 
-    Returns ``[(result, world_cache_outcome), ...]``.
+    Returns ``(result, world_cache_outcome)``.
     """
     builder = _WORKER_BUILDER
     if builder is None:  # direct invocation outside a pool
         builder = WorldBuilder(max_worlds=1)
-    return [(run_cell(cell, builder=builder), builder.last_outcome)
-            for cell in cells]
+    return run_cell(cell, builder=builder), builder.last_outcome
 
 
-def _iter_completed(cells, workers, max_worlds):
+def _iter_completed(cells, workers, max_worlds, store=None, snapshot_dir=None):
     """Yield ``(result, outcome)`` per cell as cells complete.
 
-    ``workers<=1`` runs everything inline with one builder; otherwise a
-    persistent process pool is used, each worker holding its own world
-    cache for the lifetime of the sweep.  Completion order is arbitrary
-    under fan-out — consumers must not rely on it (the aggregation path
-    reorders by cell index).
+    ``workers<=1`` runs everything inline with one builder (same-world
+    cells adjacent); otherwise cells are dispatched individually to a
+    persistent pool — the scheduler no longer groups by world key, since
+    any worker can restore any world from the shared *store*.  Completion
+    order is arbitrary under fan-out — consumers must not rely on it (the
+    aggregation path reorders by cell index).
     """
-    groups = group_cells_by_world(cells, workers=workers)
     if workers <= 1 or len(cells) <= 1:
-        builder = WorldBuilder(max_worlds=max_worlds)
-        for group in groups:
-            for cell in group:
-                yield run_cell(cell, builder=builder), builder.last_outcome
+        builder = WorldBuilder(max_worlds=max_worlds, store=store)
+        for cell in order_cells_by_world(cells):
+            yield run_cell(cell, builder=builder), builder.last_outcome
         return
+    global _SHARED_STORE
     context = multiprocessing.get_context()
-    processes = min(workers, len(groups))
-    with context.Pool(processes=processes, initializer=_init_worker,
-                      initargs=(max_worlds,)) as pool:
-        for group_results in pool.imap_unordered(_run_cell_group, groups,
-                                                 chunksize=1):
-            for result, outcome in group_results:
-                yield result, outcome
+    processes = min(workers, len(cells))
+    _SHARED_STORE = store
+    try:
+        with context.Pool(processes=processes, initializer=_init_worker,
+                          initargs=(max_worlds, snapshot_dir)) as pool:
+            yield from pool.imap_unordered(_run_single_cell, cells,
+                                           chunksize=1)
+    finally:
+        _SHARED_STORE = None
 
 
 # --------------------------------------------------------------------- #
@@ -528,8 +586,24 @@ def read_jsonl(path):
 
 
 def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
-              max_worlds=DEFAULT_MAX_WORLDS, include_cells=True):
+              max_worlds=DEFAULT_MAX_WORLDS, include_cells=True,
+              snapshot_dir=None):
     """Expand *grid*, run every cell, aggregate, and write artifacts.
+
+    Fan-out runs (``workers>1``) pre-build every distinct world exactly
+    once into a shared :class:`~repro.experiments.worldbuild.SnapshotStore`
+    (serially in the parent on ``fork`` platforms, via a short-lived
+    build pool elsewhere — see :func:`prebuild_worlds`), then dispatch
+    cells individually — workers restore worlds from the shared store
+    (fork-inherited in memory, or file-backed) instead of each building
+    their own.  The store holds one world (or blob) per distinct world
+    key for the duration of the run phase, so parent memory scales with
+    the number of distinct worlds, not with cells; it is released before
+    aggregation.  *snapshot_dir* persists the blobs: a second sweep
+    pointed at the same directory performs zero builds.  On platforms
+    whose multiprocessing start method is not ``fork``, a temporary
+    directory stands in when *snapshot_dir* is not given (workers cannot
+    inherit parent memory there).
 
     Cell results stream to *jsonl_path* as they complete (a temporary file
     is used — and removed — when no path is given) while aggregation and
@@ -552,26 +626,48 @@ def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
                          "(the JSON payload embeds the per-cell results)")
     cells = expand_grid(grid)
     cache_stats = WorldCacheStats()
-    stream_path = jsonl_path
-    if stream_path is None:
-        handle = tempfile.NamedTemporaryFile(
-            mode="w", suffix=".cells.jsonl", prefix="repro-sweep-",
-            delete=False)
-        stream_path = handle.name
-    else:
-        handle = open(stream_path, "w")
-    # Aggregation and CSV writing fold over the live results inside the
-    # completion loop — the JSONL artifact is write-only here (the fold is
-    # order-independent and the CSV writer reorders by index itself), so
-    # the memory-flat path never re-parses what it just serialised.
+    store = None
+    store_dir = snapshot_dir
+    temp_store_dir = None
+    stream_path = None
     fold = AggregateFold()
     csv_writer = None
     try:
+        if workers > 1 or snapshot_dir is not None:
+            fork = multiprocessing.get_start_method() == "fork"
+            if store_dir is None and workers > 1 and not fork:
+                temp_store_dir = tempfile.mkdtemp(prefix="repro-worlds-")
+                store_dir = temp_store_dir
+            store = SnapshotStore(store_dir)
+            # Whenever this process's worlds are reachable by the run
+            # workers (fork inheritance, or the workers ARE this process),
+            # prebuild *live*: restores become in-place checkpoint resets
+            # — the cheapest restore there is — while a snapshot_dir still
+            # gets its persistent blobs.  Only spawn fan-out is blob-only
+            # (workers cannot inherit parent memory and must deserialize
+            # from disk).
+            prebuild_worlds(store, cells, workers=workers,
+                            live=(workers <= 1 or fork))
+        if jsonl_path is None:
+            handle = tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cells.jsonl", prefix="repro-sweep-",
+                delete=False)
+            stream_path = handle.name
+        else:
+            handle = open(jsonl_path, "w")
+            stream_path = jsonl_path
+        # Aggregation and CSV writing fold over the live results inside
+        # the completion loop — the JSONL artifact is write-only here (the
+        # fold is order-independent and the CSV writer reorders by index
+        # itself), so the memory-flat path never re-parses what it just
+        # serialised.
         with handle:
             if csv_path is not None:
                 csv_writer = CsvStreamWriter(csv_path)
             streamed = 0
-            for result, outcome in _iter_completed(cells, workers, max_worlds):
+            for result, outcome in _iter_completed(cells, workers, max_worlds,
+                                                   store=store,
+                                                   snapshot_dir=store_dir):
                 line = dict(result)
                 line["world"] = outcome
                 handle.write(json.dumps(line, sort_keys=True))
@@ -582,12 +678,34 @@ def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
                 fold.add(result)
                 if csv_writer is not None:
                     csv_writer.add(result)
+        # ``builds`` totals every world built anywhere: the store's
+        # pre-build stage plus any worker-side fallback builds (an invalid
+        # blob, or no store at all).  The nested ``store`` dict carries the
+        # per-store totals, making "one build, N restores" observable.
+        world_cache = cache_stats.as_dict()
+        if store is not None:
+            # Restores are tallied from per-cell outcomes (workers mutate
+            # copy-on-write store copies, invisible here); the store dict
+            # carries the parent-observable per-store totals.
+            world_cache["builds"] += store.stats.builds
+            world_cache["store"] = {
+                "builds": store.stats.builds,
+                "blob_hits": store.stats.hits,
+                "invalidated": store.stats.invalidated,
+                "worlds": len(store),
+                "persistent": snapshot_dir is not None,
+            }
+            # The run phase is over: nothing restores from this store
+            # again, so drop its worlds before aggregation materialises
+            # the payload (parent memory then scales with aggregate
+            # groups, not with distinct worlds).
+            store.release_worlds()
         payload = {
             "schema": SCHEMA,
             "grid": grid.describe(),
             "num_cells": streamed,
             "aggregates": fold.finish(),
-            "world_cache": cache_stats.as_dict(),
+            "world_cache": world_cache,
         }
         if include_cells:
             # The payload embeds the per-cell results: the one read-back,
@@ -598,8 +716,10 @@ def run_sweep(grid, workers=1, json_path=None, csv_path=None, jsonl_path=None,
     finally:
         if csv_writer is not None:
             csv_writer.close()
-        if jsonl_path is None:
+        if jsonl_path is None and stream_path is not None:
             os.unlink(stream_path)
+        if temp_store_dir is not None:
+            shutil.rmtree(temp_store_dir, ignore_errors=True)
     if json_path is not None:
         write_json(payload, json_path)
     return payload

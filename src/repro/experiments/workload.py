@@ -83,7 +83,6 @@ def run_workload(scenario, workload):
         dst_site = topology.sites[dst_index]
         src_host = src_site.hosts[rng.randrange(len(src_site.hosts))]
         dst_host_index = rng.randrange(len(dst_site.hosts))
-        dst_host = dst_site.hosts[dst_host_index]
         record = FlowRecord(flow_id=next_flow_id(), source=src_host.address,
                             qname=scenario.host_name(dst_site, dst_host_index),
                             started_at=sim.now)

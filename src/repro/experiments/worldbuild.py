@@ -33,12 +33,44 @@ Every config is therefore cacheable; there is no bypass path.
 small LRU keyed on the full scenario config, with hit/miss counters that
 the sweep surfaces in its output (the historical ``bypasses`` counter is
 retained in the reported dict as an assertion-only zero).
+
+Shared snapshot store
+---------------------
+
+A built world is also *serializable*: once settled, the whole object graph
+(engine, topology, control plane, checkpoint) is plain picklable data —
+see :data:`repro.sim.engine.STATE_VERSION` for the engine's side of that
+contract.  :func:`serialize_world` wraps the pickle in a versioned
+envelope (magic + schema + engine state version + world key + CRC) and
+:class:`SnapshotStore` keeps the resulting immutable blobs keyed by world
+key — in memory, and content-addressed on disk under ``directory`` when
+one is given.  The sweep pre-builds each distinct world exactly once into
+the store; every worker then *restores* (deserializes) from the shared
+blob instead of building: fork-inherited read-only memory on ``fork``
+platforms, file-backed everywhere else — and with a persistent
+``--snapshot-dir``, across invocations too.
+
+Invalidation is rebuild-only, never stale-restore: a blob whose magic,
+schema version, engine state version, world key or CRC does not match
+expectations is discarded (and unlinked on disk) and the world is rebuilt
+from the config.  :func:`deserialize_world` additionally funnels the
+unpickled world through :func:`restore_world`, so a store-restored world
+reaches the workload through the exact restore machinery a same-process
+cache hit uses — fresh, cache-hit and blob-restored worlds are
+byte-identical by construction.
 """
 
+import gc
+import hashlib
+import os
+import pickle
+import tempfile
+import zlib
 from collections import OrderedDict
 from dataclasses import astuple
 
 from repro.experiments.scenario import build_scenario
+from repro.sim.engine import STATE_VERSION
 
 
 def world_key(config):
@@ -82,31 +114,398 @@ def restore_world(scenario):
     scenario.stubs.clear()
 
 
+# --------------------------------------------------------------------- #
+# Snapshot blobs: versioned, immutable, picklable world serializations
+# --------------------------------------------------------------------- #
+
+#: Leading bytes of every snapshot blob; anything else is not a snapshot.
+SNAPSHOT_MAGIC = b"repro-world-snapshot\n"
+
+#: Version of the snapshot envelope layout.  Bumping it (or the engine's
+#: :data:`~repro.sim.engine.STATE_VERSION`) invalidates every existing
+#: blob: mismatched snapshots are rebuilt, never restored.
+SNAPSHOT_SCHEMA = 1
+
+
+def _without_gc(func, *args, **kwargs):
+    """Run *func* with the cyclic GC paused.
+
+    (De)serializing a world allocates hundreds of thousands of objects in
+    one burst; every GC generation-0 sweep in the middle scans the whole
+    growing graph for garbage that cannot exist yet.  Pausing collection
+    for the duration is a ~3x wall-time win on blob restores and keeps the
+    store's restore path comfortably cheaper than its build path.
+    """
+    enabled = gc.isenabled()
+    if enabled:
+        gc.disable()
+    try:
+        return func(*args, **kwargs)
+    finally:
+        if enabled:
+            gc.enable()
+
+
+class SnapshotError(ValueError):
+    """A blob failed validation (corrupt, stale schema, or wrong world)."""
+
+    def __init__(self, reason, detail=""):
+        super().__init__(f"invalid world snapshot ({reason})"
+                         + (f": {detail}" if detail else ""))
+        self.reason = reason
+
+
+def snapshot_fingerprint(config):
+    """Content address of *config*'s snapshot: world key + schema versions.
+
+    The schema and engine state versions participate, so a version bump
+    changes every filename and old blobs simply stop being found — and a
+    blob found under the right name still carries its full world key in
+    the envelope, which :func:`validate_blob` checks against the config
+    (defending against fingerprint collisions and renamed files).
+    """
+    identity = (SNAPSHOT_SCHEMA, STATE_VERSION, world_key(config))
+    return hashlib.sha256(repr(identity).encode()).hexdigest()
+
+
+def serialize_world(scenario):
+    """Pickle a settled, checkpointed *scenario* into an immutable blob.
+
+    The blob is a versioned envelope: magic, schema + engine state
+    versions, the full world key, a CRC of the payload, and the payload
+    pickle of the whole scenario graph (checkpoint included, so a
+    deserialized world restores through the normal machinery).
+    """
+    if scenario.world_checkpoint is None:
+        raise ValueError("scenario has no world checkpoint; serialize only "
+                         "worlds produced by build_world")
+    if not scenario.sim.serializable:
+        raise ValueError("cannot serialize a world with pending foreground "
+                         "events (settle it first)")
+    payload = _without_gc(pickle.dumps, scenario,
+                          protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "schema": SNAPSHOT_SCHEMA,
+        "engine": STATE_VERSION,
+        "key": world_key(scenario.config),
+        "crc": zlib.crc32(payload),
+        "payload": payload,
+    }
+    return SNAPSHOT_MAGIC + pickle.dumps(envelope,
+                                         protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def validate_blob(blob, config):
+    """Check *blob*'s envelope against *config*; return it or raise.
+
+    Cheap relative to a full restore: the payload is CRC-checked but not
+    unpickled, so the pre-build stage can trust-or-rebuild file-backed
+    blobs without paying deserialization per world.  Raises
+    :class:`SnapshotError` naming the first failed check.
+    """
+    if not blob.startswith(SNAPSHOT_MAGIC):
+        raise SnapshotError("bad magic")
+    try:
+        envelope = pickle.loads(blob[len(SNAPSHOT_MAGIC):])
+        schema = envelope["schema"]
+        engine = envelope["engine"]
+        key = envelope["key"]
+        crc = envelope["crc"]
+        payload = envelope["payload"]
+    except Exception as error:
+        raise SnapshotError("corrupt envelope", repr(error)) from error
+    if schema != SNAPSHOT_SCHEMA:
+        raise SnapshotError("schema mismatch",
+                            f"blob v{schema}, expected v{SNAPSHOT_SCHEMA}")
+    if engine != STATE_VERSION:
+        raise SnapshotError("engine state-version mismatch",
+                            f"blob v{engine}, expected v{STATE_VERSION}")
+    if key != world_key(config):
+        raise SnapshotError("world-key mismatch",
+                            "blob was built from a different config")
+    if zlib.crc32(payload) != crc:
+        raise SnapshotError("payload CRC mismatch")
+    return envelope
+
+
+def deserialize_world(blob, config):
+    """Rebuild a live scenario from *blob*, validated against *config*.
+
+    The unpickled world is reset through :func:`restore_world`, so it
+    reaches the caller through the same restore path a same-process cache
+    hit takes.  Raises :class:`SnapshotError` on any validation or
+    unpickling failure — callers rebuild, they never restore stale state.
+    """
+    envelope = validate_blob(blob, config)
+    try:
+        scenario = _without_gc(pickle.loads, envelope["payload"])
+    except Exception as error:
+        raise SnapshotError("corrupt payload", repr(error)) from error
+    restore_world(scenario)
+    return scenario
+
+
+class SnapshotStoreStats:
+    """Counters for one :class:`SnapshotStore`.
+
+    ``builds`` counts worlds built *into* the store (the acceptance
+    criterion: exactly one per distinct world key per cold sweep, zero on
+    a warm ``--snapshot-dir`` rerun), ``restores`` counts blobs
+    deserialized back into live worlds, ``hits`` counts valid blobs found
+    already stored, and ``invalidated`` counts blobs rejected and
+    discarded by validation.
+    """
+
+    __slots__ = ("builds", "restores", "hits", "invalidated")
+
+    def __init__(self):
+        self.builds = 0
+        self.restores = 0
+        self.hits = 0
+        self.invalidated = 0
+
+    def as_dict(self):
+        return {"builds": self.builds, "restores": self.restores,
+                "hits": self.hits, "invalidated": self.invalidated}
+
+
+class SnapshotStore:
+    """World snapshots keyed by world key, in two tiers.
+
+    *Live worlds* (``ensure(config, live=True)``) are built scenario
+    graphs held by the parent process; on ``fork`` platforms every worker
+    inherits them as read-only memory and a restore is an in-place
+    checkpoint reset (:func:`restore_world`, milliseconds) — no
+    serialization on the hot path at all.  This is the fan-out tier: one
+    build in the parent amortizes across all workers.  It composes with
+    a *directory*: the same ``ensure`` call also persists a blob, and on
+    warm runs hydrates the live world from the stored blob instead of
+    rebuilding.
+
+    *Blobs* (:meth:`ensure`) are the serialized tier: immutable pickled
+    envelopes kept in memory and, when *directory* is given, as
+    content-addressed files ``<fingerprint>.world`` that outlive the
+    process — repeated sweeps pointed at the same ``--snapshot-dir`` skip
+    building entirely, and spawn-platform workers (which cannot inherit
+    parent memory) read them from disk.  Disk blobs are validated on
+    first touch and cached in memory; invalid ones are unlinked and
+    rebuilt.
+    """
+
+    def __init__(self, directory=None):
+        self.directory = directory
+        self.stats = SnapshotStoreStats()
+        #: fingerprint -> *validated* envelope dict.  Envelopes are cached
+        #: instead of raw blobs so a restore never re-validates or
+        #: re-unpickles the envelope (and never holds two copies of the
+        #: multi-MB payload bytes).
+        self._envelopes = {}
+        #: fingerprint -> live built scenario (the fork tier).
+        self._live = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self):
+        return len(self._envelopes.keys() | self._live.keys())
+
+    def _path(self, fingerprint):
+        return os.path.join(self.directory, f"{fingerprint}.world")
+
+    def _envelope_for(self, config):
+        """The validated envelope for *config*, or None.
+
+        Validation (magic, schema, engine version, key, CRC) runs at most
+        once per process per world: a cache hit returns the envelope
+        as-is.  Invalid blobs are discarded (and unlinked on disk).
+        """
+        fingerprint = snapshot_fingerprint(config)
+        envelope = self._envelopes.get(fingerprint)
+        if envelope is not None:
+            self.stats.hits += 1
+            return envelope
+        if self.directory is None:
+            return None
+        try:
+            with open(self._path(fingerprint), "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            envelope = validate_blob(blob, config)
+        except SnapshotError:
+            self._discard(fingerprint)
+            self.stats.invalidated += 1
+            return None
+        self._envelopes[fingerprint] = envelope
+        self.stats.hits += 1
+        return envelope
+
+    def has_snapshot(self, config):
+        """True when a valid stored snapshot exists for *config*."""
+        return self._envelope_for(config) is not None
+
+    def _store_blob(self, fingerprint, blob):
+        """Cache *blob*'s envelope and persist it when a directory is set.
+
+        The blob was serialized by this process, so parsing the envelope
+        is a header unpickle, not a validation round.
+        """
+        self._envelopes[fingerprint] = pickle.loads(blob[len(SNAPSHOT_MAGIC):])
+        if self.directory is not None:
+            path = self._path(fingerprint)
+            handle = tempfile.NamedTemporaryFile(
+                dir=self.directory, prefix=".tmp-", delete=False)
+            try:
+                with handle:
+                    handle.write(blob)
+                os.replace(handle.name, path)  # atomic: readers never see partial blobs
+            except BaseException:
+                os.unlink(handle.name)
+                raise
+
+    def put_built(self, config, blob):
+        """Store freshly built *blob* for *config*, counting one build."""
+        self.stats.builds += 1
+        self._store_blob(snapshot_fingerprint(config), blob)
+
+    def ensure(self, config, live=False):
+        """Guarantee this store can restore *config*'s world.
+
+        The world is built at most once.  With ``live=True`` (the fork
+        fan-out tier) a live in-store world is guaranteed too — hydrated
+        from a valid stored blob when one exists, built otherwise (with
+        the cyclic GC paused: a build is one allocation burst, like a
+        restore) — *and* a blob is still written when the store has a
+        ``directory``, so persistence and the live tier compose.  Returns
+        ``"hit"`` or ``"build"``.
+        """
+        fingerprint = snapshot_fingerprint(config)
+        scenario = self._live.get(fingerprint)
+        envelope = self._envelope_for(config)
+        if live and scenario is None and envelope is not None:
+            scenario = self._deserialize(fingerprint, envelope, config)
+            if scenario is not None:
+                self._live[fingerprint] = scenario
+            envelope = self._envelopes.get(fingerprint)  # None if corrupt
+        if envelope is not None and (scenario is not None or not live):
+            self._trim_envelope(fingerprint)
+            return "hit"
+        outcome = "hit"
+        if scenario is None:
+            scenario = _without_gc(build_world, config)
+            self.stats.builds += 1
+            outcome = "build"
+            if live:
+                self._live[fingerprint] = scenario
+        if envelope is None and (self.directory is not None or not live):
+            self._store_blob(fingerprint, serialize_world(scenario))
+            self._trim_envelope(fingerprint)
+        return outcome
+
+    def _trim_envelope(self, fingerprint):
+        """Drop a cached envelope that is redundant with a live world.
+
+        With both a live world and an on-disk blob for *fingerprint*,
+        restores use the live tier and warm processes re-read the disk —
+        keeping the multi-MB payload bytes cached too would roughly
+        double parent memory per world for nothing.
+        """
+        if fingerprint in self._live and self.directory is not None:
+            self._envelopes.pop(fingerprint, None)
+
+    def restore(self, config):
+        """A pristine world for *config* from the store, or None.
+
+        A live world is reset in place (cheap, and the object is shared
+        with the store — callers in forked workers each hold their own
+        copy-on-write image of it); otherwise the stored, pre-validated
+        envelope payload is deserialized into an independent world.  A
+        payload that fails unpickling is discarded like any other invalid
+        blob — the caller falls back to a build.
+        """
+        fingerprint = snapshot_fingerprint(config)
+        live = self._live.get(fingerprint)
+        if live is not None:
+            restore_world(live)
+            self.stats.restores += 1
+            return live
+        envelope = self._envelope_for(config)
+        if envelope is None:
+            return None
+        scenario = self._deserialize(fingerprint, envelope, config)
+        if scenario is None:
+            return None
+        self.stats.restores += 1
+        return scenario
+
+    def _deserialize(self, fingerprint, envelope, config):
+        """Unpickle a validated envelope's payload; None (and discard) on
+        failure.  Skips re-validation: envelopes in the cache already
+        passed every check."""
+        try:
+            scenario = _without_gc(pickle.loads, envelope["payload"])
+        except Exception:
+            self._discard(fingerprint)
+            self.stats.invalidated += 1
+            return None
+        restore_world(scenario)
+        return scenario
+
+    def release_worlds(self):
+        """Drop every held live world and cached envelope.
+
+        Stats and on-disk blobs survive; memory does not.  The sweep
+        calls this once its run phase ends — the store retains one world
+        (or multi-MB envelope) per distinct world key with no eviction
+        while restores may still arrive, so releasing promptly is the
+        memory bound.
+        """
+        self._live.clear()
+        self._envelopes.clear()
+
+    def _discard(self, fingerprint):
+        self._envelopes.pop(fingerprint, None)
+        self._live.pop(fingerprint, None)
+        if self.directory is not None:
+            try:
+                os.unlink(self._path(fingerprint))
+            except OSError:
+                pass
+
+
 class WorldCacheStats:
     """Counters for one :class:`WorldBuilder` (surfaced by the sweep).
 
-    ``bypasses`` is assertion-only: every world is checkpointable since
-    periodic processes became engine-owned tasks, so nothing increments it
-    — it stays in the reported dict so downstream consumers can assert it
-    is zero.
+    ``misses`` counts cells the in-process LRU could not serve; each miss
+    is resolved either by deserializing a shared snapshot (``restores``)
+    or by a full build (``builds``) — so "one build, N restores" is
+    directly observable.  ``bypasses`` is assertion-only: every world is
+    checkpointable since periodic processes became engine-owned tasks, so
+    nothing increments it — it stays in the reported dict so downstream
+    consumers can assert it is zero.
     """
 
-    __slots__ = ("builds", "hits", "misses", "bypasses")
+    __slots__ = ("builds", "hits", "misses", "restores", "bypasses")
 
     def __init__(self):
         self.builds = 0
         self.hits = 0
         self.misses = 0
+        self.restores = 0
         self.bypasses = 0
 
     def as_dict(self):
         return {"builds": self.builds, "hits": self.hits,
-                "misses": self.misses, "bypasses": self.bypasses}
+                "misses": self.misses, "restores": self.restores,
+                "bypasses": self.bypasses}
 
     def count(self, outcome):
-        """Tally one ``scenario_for`` outcome ("hit" | "miss")."""
+        """Tally one ``scenario_for`` outcome ("hit" | "restore" | "miss")."""
         if outcome == "hit":
             self.hits += 1
+        elif outcome == "restore":
+            self.restores += 1
+            self.misses += 1
         elif outcome == "miss":
             self.builds += 1
             self.misses += 1
@@ -122,15 +521,26 @@ class WorldBuilder:
     instead of a rebuild.  ``max_worlds`` bounds resident memory (large
     worlds are the whole point of reuse, and also the reason not to keep
     too many of them alive).
+
+    With a :class:`SnapshotStore`, an LRU miss first tries to restore
+    from the shared store (outcome ``"restore"``) and only falls back to
+    a full build (outcome ``"miss"``) when the store has no valid
+    snapshot — so N workers sharing one store build each distinct world
+    at most once between them instead of once each.  Note that
+    ``max_worlds`` then bounds only worlds this builder built or
+    blob-deserialized itself: a store-held *live* world is shared with
+    (and retained by) the store, so evicting it here frees only this
+    process's copy-on-write pages.
     """
 
-    def __init__(self, max_worlds=4):
+    def __init__(self, max_worlds=4, store=None):
         if max_worlds < 1:
             raise ValueError("max_worlds must be >= 1")
         self.max_worlds = max_worlds
+        self.store = store
         self.stats = WorldCacheStats()
         #: Cache outcome of the most recent scenario_for call
-        #: ("hit" | "miss"), for per-cell reporting.
+        #: ("hit" | "restore" | "miss"), for per-cell reporting.
         self.last_outcome = None
         self._cache = OrderedDict()
 
@@ -146,8 +556,14 @@ class WorldBuilder:
             restore_world(scenario)
             self._record("hit")
             return scenario
-        scenario = build_world(config)
-        self._record("miss")
+        outcome = "miss"
+        if self.store is not None:
+            scenario = self.store.restore(config)
+            if scenario is not None:
+                outcome = "restore"
+        if scenario is None:
+            scenario = build_world(config)
+        self._record(outcome)
         self._cache[key] = scenario
         while len(self._cache) > self.max_worlds:
             self._cache.popitem(last=False)

@@ -7,7 +7,7 @@ accurate wire sizes; the experiments account their bytes but never need to
 bit-pack them.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
 
 from repro.net.addresses import IPv4Address

@@ -5,7 +5,7 @@ priority (lower preferred) and a weight (load share among equal priority),
 mirroring draft-farinacci-lisp-08's Map-Reply record format.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.addresses import IPv4Address, IPv4Prefix
 

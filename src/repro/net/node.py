@@ -7,7 +7,7 @@ subclassing it, so one physical node can host several roles, exactly like
 the paper's co-located DNS + PCE.
 """
 
-from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.addresses import IPv4Address
 from repro.net.errors import NoRouteError, PortInUseError
 from repro.net.fib import Fib
 from repro.net.packet import PROTO_UDP, Packet, UDPHeader

@@ -14,6 +14,15 @@ PRIORITY_NORMAL = 1
 #: Priority used for bookkeeping that must run before normal events at a time.
 PRIORITY_URGENT = 0
 
+#: Version of the engine's blob-serializable state contract.  A settled
+#: simulator (no pending foreground events) is plain picklable data: clock,
+#: sequence counters, RNG stream states, tracer, and armed periodic-task
+#: timers riding the heap as :class:`PeriodicFire` entries.  World-snapshot
+#: blobs embed this version; bump it whenever that serialized shape changes
+#: (heap entry layout, checkpoint tuple format, periodic-task state) so
+#: stale blobs written by an older engine are rebuilt instead of restored.
+STATE_VERSION = 1
+
 
 class Simulator:
     """Deterministic discrete-event simulator.
@@ -193,6 +202,18 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # World-reuse checkpointing
     # ------------------------------------------------------------------ #
+
+    @property
+    def serializable(self):
+        """True when the engine meets the blob-serialization contract.
+
+        Pending foreground events hold live callbacks and generator frames
+        — objects outside the :data:`STATE_VERSION` contract — so only a
+        settled simulator (foreground drained; armed periodic tasks are
+        fine, their timers are plain data) may be serialized into a
+        world-snapshot blob.
+        """
+        return self._foreground == 0
 
     def snapshot_state(self):
         """Checkpoint the clock, counters and periodic-task timers.

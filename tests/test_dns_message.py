@@ -6,11 +6,9 @@ from hypothesis import strategies as st
 
 from repro.dns.message import (
     FLAG_AA,
-    FLAG_QR,
     FLAG_RD,
     DnsMessage,
     DnsWireError,
-    Question,
     decode_name,
     encode_name,
     make_query,

@@ -1,11 +1,7 @@
 """Integration tests: iterative DNS resolution across the simulated WAN."""
 
-import pytest
-
 from repro.dns.hierarchy import install_dns
-from repro.dns.records import RCODE_NXDOMAIN
 from repro.dns.resolver import StubResolver
-from repro.net.addresses import IPv4Address
 from repro.net.topology import build_topology
 from repro.sim import Simulator
 

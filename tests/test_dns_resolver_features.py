@@ -1,7 +1,5 @@
 """Tests for resolver query coalescing and negative caching."""
 
-import pytest
-
 from repro.dns.hierarchy import install_dns
 from repro.dns.resolver import StubResolver
 from repro.net.topology import build_topology

@@ -4,8 +4,6 @@ The substrate must degrade gracefully — flows fail cleanly (marked failed,
 no exceptions, no stuck processes), and recover when the fault heals.
 """
 
-import pytest
-
 from repro.experiments import ScenarioConfig, WorkloadConfig, build_scenario, run_workload
 from repro.experiments.scenario import FLOW_UDP_PORT
 from repro.net.packet import udp_packet

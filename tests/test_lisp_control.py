@@ -1,7 +1,5 @@
 """Tests for the baseline mapping systems: ALT, CONS, NERD."""
 
-import pytest
-
 from repro.lisp.control import (
     AltMappingSystem,
     ConsMappingSystem,
@@ -11,7 +9,7 @@ from repro.lisp.control import (
 from repro.lisp.deploy import deploy_lisp
 from repro.lisp.mappings import MappingRecord, RlocEntry
 from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
-from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.addresses import IPv4Address
 from repro.net.packet import udp_packet
 from repro.net.topology import build_topology
 from repro.sim import Simulator

@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments.scenario import FLOW_UDP_PORT, ScenarioConfig, build_scenario
 from repro.lisp.mappings import MappingRecord, RlocEntry
-from repro.lisp.probing import RlocProber
 from repro.net.addresses import IPv4Address
 from repro.net.packet import udp_packet
 
@@ -89,7 +88,6 @@ def test_failure_detected_and_failover_to_backup():
     links["uplink"].up = False
     links["downlink"].up = False
     sim.run(until=sim.now + 3.0)
-    itr = scenario.control_plane.xtrs_by_site[site_s.index][0]
     prober = scenario.control_plane.probers[site_s.xtrs[0].name]
     assert site_d.rloc_of(0) in prober.down
     # New packet now rides the backup locator and still arrives.

@@ -1,11 +1,7 @@
 """Integration tests: xTR forwarding over the topology with miss policies."""
 
-import pytest
-
-from repro.lisp import EID_SPACE
 from repro.lisp.control.base import MappingSystem
 from repro.lisp.deploy import deploy_lisp
-from repro.lisp.mappings import site_mapping
 from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
 from repro.net.addresses import IPv4Address
 from repro.net.packet import udp_packet
@@ -162,7 +158,7 @@ def test_gleaned_mapping_enables_reverse_traffic_without_resolution():
     sim, topology, system, policy, xtrs = make_lisp_world(QueuePolicy, resolve_delay=0.01)
     site_s, site_d = topology.sites
     src, dst = site_s.hosts[0], site_d.hosts[0]
-    forward_sink = deliveries(sim, dst, port=7000)
+    deliveries(sim, dst, port=7000)  # forward-path handler (side effect)
     reverse_sink = deliveries(sim, src, port=7001)
     src.send(udp_packet(src.address, dst.address, 1, 7000))
     sim.run()
@@ -203,7 +199,7 @@ def test_cache_ttl_override_expires_entries():
     itr.map_cache.ttl_override = 0.5
     src = topology.sites[0].hosts[0]
     dst = topology.sites[1].hosts[0]
-    sink = deliveries(sim, dst)
+    deliveries(sim, dst)  # delivery handler registers by side effect
     src.send(udp_packet(src.address, dst.address, 1, 7000))
     sim.run()
     sim.call_in(1.0, lambda: src.send(udp_packet(src.address, dst.address, 1, 7000)))

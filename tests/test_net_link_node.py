@@ -5,7 +5,6 @@ import pytest
 from repro.net.errors import PortInUseError
 from repro.net.host import Host
 from repro.net.link import Link, connect
-from repro.net.node import Node
 from repro.net.packet import udp_packet
 from repro.net.router import Router
 from repro.sim import Simulator

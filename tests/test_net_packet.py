@@ -8,8 +8,6 @@ from repro.net.packet import (
     UDP_HEADER_BYTES,
     IPv4Header,
     Packet,
-    TCPHeader,
-    UDPHeader,
     tcp_packet,
     udp_packet,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.addresses import IPv4Address
 from repro.net.packet import udp_packet
 from repro.net.topology import (
     build_fig1_topology,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import PeriodicTask, Simulator
+from repro.sim import Simulator
 
 
 def make_counter(sim, period=1.0, name=None):

@@ -1,0 +1,329 @@
+"""Tests for the shared world-snapshot store: serialization, invalidation.
+
+The store's contract is *rebuild, never stale-restore*: any blob that
+fails validation (corruption, schema or engine state-version bump, world
+key mismatch) is discarded and the world built from the config.  And a
+restore must be invisible in the results: fresh-built, LRU-reused and
+blob-restored worlds produce byte-identical sweep digests.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweep import (SweepGrid, distinct_world_configs,
+                                     expand_grid, payload_digest,
+                                     prebuild_worlds, run_cell, run_sweep)
+from repro.experiments import worldbuild
+from repro.experiments.worldbuild import (SNAPSHOT_MAGIC, SnapshotError,
+                                          SnapshotStore, WorldBuilder,
+                                          build_world, deserialize_world,
+                                          serialize_world,
+                                          snapshot_fingerprint, world_key)
+
+CONFIG = ScenarioConfig(control_plane="pce", num_sites=3, seed=5,
+                        tracing=False)
+
+GRID = SweepGrid(name="snap", control_planes=("pce", "alt"), site_counts=(3,),
+                 seeds=(1,), zipf_values=(0.5, 1.2), num_flows=8,
+                 arrival_rate=10.0)
+
+
+def _blob_path(directory, config):
+    return directory / f"{snapshot_fingerprint(config)}.world"
+
+
+# --------------------------------------------------------------------- #
+# Serialization round-trip
+# --------------------------------------------------------------------- #
+
+def test_serialize_deserialize_round_trip():
+    blob = serialize_world(build_world(CONFIG))
+    assert blob.startswith(SNAPSHOT_MAGIC)
+    scenario = deserialize_world(blob, CONFIG)
+    assert scenario.config == CONFIG
+    assert scenario.world_checkpoint is not None
+
+
+def test_restored_world_runs_cells_byte_identically():
+    """The core determinism contract: a blob-restored world is invisible."""
+    grid = SweepGrid(control_planes=("pce",), site_counts=(3,), seeds=(5,),
+                     num_flows=10, arrival_rate=10.0)
+    cell = expand_grid(grid)[0]
+    fresh = run_cell(cell)
+
+    store = SnapshotStore()
+    assert store.ensure(cell.scenario) == "build"
+    builder = WorldBuilder(store=store)
+    restored = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "restore"
+    assert json.dumps(fresh, sort_keys=True) \
+        == json.dumps(restored, sort_keys=True)
+
+
+def test_serialize_requires_checkpointed_settled_world():
+    from repro.experiments.scenario import build_scenario
+
+    bare = build_scenario(CONFIG)  # no checkpoint attached
+    with pytest.raises(ValueError, match="checkpoint"):
+        serialize_world(bare)
+    scenario = build_world(CONFIG)
+    scenario.sim.call_in(0.5, lambda: None)  # pending foreground event
+    assert not scenario.sim.serializable
+    with pytest.raises(ValueError, match="foreground"):
+        serialize_world(scenario)
+
+
+# --------------------------------------------------------------------- #
+# Invalidation: every mismatch forces a rebuild
+# --------------------------------------------------------------------- #
+
+def test_corrupted_blob_forces_rebuild(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    assert store.ensure(CONFIG) == "build"
+    path = _blob_path(tmp_path, CONFIG)
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF  # flip a payload byte: CRC catches it
+    path.write_bytes(bytes(data))
+
+    fresh_store = SnapshotStore(str(tmp_path))
+    assert not fresh_store.has_snapshot(CONFIG)
+    assert fresh_store.stats.invalidated == 1
+    assert not path.exists()  # discarded, not retried forever
+    assert fresh_store.ensure(CONFIG) == "build"
+    assert fresh_store.restore(CONFIG) is not None
+
+
+def test_truncated_blob_forces_rebuild(tmp_path):
+    store = SnapshotStore(str(tmp_path))
+    store.ensure(CONFIG)
+    path = _blob_path(tmp_path, CONFIG)
+    path.write_bytes(path.read_bytes()[:200])
+    fresh_store = SnapshotStore(str(tmp_path))
+    assert not fresh_store.has_snapshot(CONFIG)
+    assert fresh_store.stats.invalidated == 1
+
+
+def test_non_snapshot_file_is_rejected(tmp_path):
+    path = _blob_path(tmp_path, CONFIG)
+    path.write_bytes(b"not a snapshot at all")
+    store = SnapshotStore(str(tmp_path))
+    assert not store.has_snapshot(CONFIG)
+    with pytest.raises(SnapshotError, match="bad magic"):
+        deserialize_world(b"junk", CONFIG)
+
+
+def test_schema_version_bump_invalidates_blobs(tmp_path, monkeypatch):
+    store = SnapshotStore(str(tmp_path))
+    store.ensure(CONFIG)
+    blob = _blob_path(tmp_path, CONFIG).read_bytes()
+
+    monkeypatch.setattr(worldbuild, "SNAPSHOT_SCHEMA",
+                        worldbuild.SNAPSHOT_SCHEMA + 1)
+    # The fingerprint changes with the schema, so the old file is simply
+    # not found under the new name...
+    bumped_store = SnapshotStore(str(tmp_path))
+    assert not bumped_store.has_snapshot(CONFIG)
+    assert bumped_store.ensure(CONFIG) == "build"
+    # ...and even a blob handed over directly fails envelope validation.
+    with pytest.raises(SnapshotError, match="schema mismatch"):
+        deserialize_world(blob, CONFIG)
+
+
+def test_engine_state_version_bump_invalidates_blobs(monkeypatch):
+    blob = serialize_world(build_world(CONFIG))
+    monkeypatch.setattr(worldbuild, "STATE_VERSION",
+                        worldbuild.STATE_VERSION + 1)
+    with pytest.raises(SnapshotError, match="state-version mismatch"):
+        deserialize_world(blob, CONFIG)
+
+
+def test_world_key_collision_forces_rebuild(tmp_path):
+    """A blob filed under another config's fingerprint must not restore:
+    the envelope carries the full world key and the mismatch is caught."""
+    other = CONFIG.variant(seed=99)
+    blob = serialize_world(build_world(CONFIG))
+    _blob_path(tmp_path, other).write_bytes(blob)
+
+    store = SnapshotStore(str(tmp_path))
+    assert not store.has_snapshot(other)
+    assert store.stats.invalidated == 1
+    assert not _blob_path(tmp_path, other).exists()
+    assert store.ensure(other) == "build"
+    restored = store.restore(other)
+    assert restored.config == other
+    with pytest.raises(SnapshotError, match="world-key mismatch"):
+        deserialize_world(blob, other)
+
+
+def test_restore_falls_back_to_build_in_builder(tmp_path):
+    """A builder whose store blob is invalid builds instead (outcome miss)."""
+    store = SnapshotStore(str(tmp_path))
+    store.ensure(CONFIG)
+    path = _blob_path(tmp_path, CONFIG)
+    data = bytearray(path.read_bytes())
+    data[-10] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+    builder = WorldBuilder(store=SnapshotStore(str(tmp_path)))
+    scenario = builder.scenario_for(CONFIG)
+    assert builder.last_outcome == "miss"
+    assert builder.stats.builds == 1 and builder.stats.restores == 0
+    assert scenario.world_checkpoint is not None
+
+
+# --------------------------------------------------------------------- #
+# Store bookkeeping
+# --------------------------------------------------------------------- #
+
+def test_fingerprint_covers_key_and_versions(monkeypatch):
+    base = snapshot_fingerprint(CONFIG)
+    assert snapshot_fingerprint(CONFIG) == base
+    assert snapshot_fingerprint(CONFIG.variant(seed=6)) != base
+    monkeypatch.setattr(worldbuild, "SNAPSHOT_SCHEMA",
+                        worldbuild.SNAPSHOT_SCHEMA + 1)
+    assert snapshot_fingerprint(CONFIG) != base
+
+
+def test_memory_store_one_build_many_restores():
+    store = SnapshotStore()
+    assert store.ensure(CONFIG) == "build"
+    assert store.ensure(CONFIG) == "hit"
+    first = store.restore(CONFIG)
+    second = store.restore(CONFIG)
+    assert first is not second  # every restore is an independent world
+    assert store.stats.builds == 1
+    assert store.stats.restores == 2
+    assert len(store) == 1
+
+
+def test_world_cache_stats_counts_restores():
+    from repro.experiments.worldbuild import WorldCacheStats
+
+    stats = WorldCacheStats()
+    for outcome in ("miss", "restore", "restore", "hit"):
+        stats.count(outcome)
+    assert stats.as_dict() == {"builds": 1, "hits": 1, "misses": 3,
+                               "restores": 2, "bypasses": 0}
+    with pytest.raises(ValueError):
+        stats.count("bypass")
+
+
+def test_prebuild_worlds_builds_each_distinct_world_once():
+    cells = expand_grid(GRID)
+    configs = distinct_world_configs(cells)
+    assert len(configs) == 2  # one per control plane; zipf is workload-only
+    assert len({world_key(c) for c in configs}) == 2
+    store = SnapshotStore()
+    prebuild_worlds(store, cells, workers=1)
+    assert store.stats.builds == 2
+    prebuild_worlds(store, cells, workers=1)  # idempotent: all blobs valid
+    assert store.stats.builds == 2
+
+
+def test_prebuild_worlds_blob_pool_path(tmp_path):
+    """The spawn-platform tier: a build pool returns blobs to the parent,
+    which stores them; restores deserialize independent worlds."""
+    cells = expand_grid(GRID)
+    store = SnapshotStore(str(tmp_path / "worlds"))
+    prebuild_worlds(store, cells, workers=2, live=False)
+    assert store.stats.builds == 2
+    assert len(list((tmp_path / "worlds").glob("*.world"))) == 2
+    first = store.restore(cells[0].scenario)
+    second = store.restore(cells[0].scenario)
+    assert first is not None and first is not second  # blob tier: copies
+
+
+def test_ensure_live_composes_with_directory(tmp_path):
+    """live=True with a directory populates both tiers in one build: the
+    live world serves this run's workers, the blob outlives the run."""
+    directory = str(tmp_path / "worlds")
+    store = SnapshotStore(directory)
+    assert store.ensure(CONFIG, live=True) == "build"
+    assert store.stats.builds == 1
+    assert _blob_path(tmp_path / "worlds", CONFIG).exists()
+    first = store.restore(CONFIG)
+    assert first is store.restore(CONFIG)  # live tier: shared object
+
+    # A warm store hydrates its live tier from the blob: zero builds.
+    warm = SnapshotStore(directory)
+    assert warm.ensure(CONFIG, live=True) == "hit"
+    assert warm.stats.builds == 0
+    hydrated = warm.restore(CONFIG)
+    assert hydrated is warm.restore(CONFIG)  # restored live, in place
+
+
+# --------------------------------------------------------------------- #
+# Sweep integration: the acceptance criteria at test scale
+# --------------------------------------------------------------------- #
+
+def test_fanned_sweep_builds_each_world_once_and_matches_serial():
+    serial = run_sweep(GRID, workers=1)
+    fanned = run_sweep(GRID, workers=4)
+    assert payload_digest(serial) == payload_digest(fanned)
+    cache = fanned["world_cache"]
+    assert cache["store"]["builds"] == 2   # exactly one per distinct key
+    assert cache["builds"] == 2            # and no worker-side builds
+    assert cache["restores"] == cache["misses"]
+    assert cache["bypasses"] == 0
+
+
+def test_snapshot_dir_rerun_performs_zero_builds(tmp_path):
+    snapshot_dir = str(tmp_path / "worlds")
+    cold = run_sweep(GRID, workers=2, snapshot_dir=snapshot_dir)
+    warm = run_sweep(GRID, workers=2, snapshot_dir=snapshot_dir)
+    assert cold["world_cache"]["store"]["builds"] == 2
+    assert warm["world_cache"]["builds"] == 0
+    assert warm["world_cache"]["store"]["builds"] == 0
+    assert warm["world_cache"]["store"]["blob_hits"] == 2
+    assert payload_digest(cold) == payload_digest(warm)
+    # The store outlives the sweep: blobs are content-addressed files.
+    stored = list((tmp_path / "worlds").glob("*.world"))
+    assert len(stored) == 2
+
+
+def test_snapshot_dir_serial_run_restores_instead_of_building(tmp_path):
+    snapshot_dir = str(tmp_path / "worlds")
+    run_sweep(GRID, workers=1, snapshot_dir=snapshot_dir)
+    warm = run_sweep(GRID, workers=1, snapshot_dir=snapshot_dir)
+    assert warm["world_cache"]["builds"] == 0
+    assert warm["world_cache"]["restores"] == 2  # one blob restore per world
+    assert warm["world_cache"]["store"]["persistent"] is True
+
+
+def test_probing_failover_worlds_snapshot_cleanly(tmp_path):
+    """The hardest worlds (armed periodic tasks, prober state) round-trip
+    through the file-backed store with byte-identical results."""
+    grid = SweepGrid(name="snapfail", control_planes=("pce",),
+                     site_counts=(3,), seeds=(21,), fail_fractions=(0.0, 0.5),
+                     fail_at=0.3, repair_at=1.5, num_flows=8,
+                     arrival_rate=10.0, packets_per_flow=4,
+                     scenario_overrides={"enable_probing": True,
+                                         "probe_period": 0.3,
+                                         "probe_timeout": 0.15})
+    serial = run_sweep(grid, workers=1)
+    snapshot_dir = str(tmp_path / "worlds")
+    stored = run_sweep(grid, workers=2, snapshot_dir=snapshot_dir)
+    rerun = run_sweep(grid, workers=2, snapshot_dir=snapshot_dir)
+    assert payload_digest(serial) == payload_digest(stored)
+    assert payload_digest(serial) == payload_digest(rerun)
+    assert rerun["world_cache"]["builds"] == 0
+
+
+def test_blob_is_pure_bytes_and_worlds_are_independent():
+    """Restored worlds share nothing: mutating one leaves the blob intact."""
+    store = SnapshotStore()
+    store.ensure(CONFIG)
+    first = store.restore(CONFIG)
+    checkpoint_now = first.sim.now
+    # Dirty the first world thoroughly.
+    from repro.experiments.workload import WorkloadConfig, run_workload
+    run_workload(first, WorkloadConfig(num_flows=6, arrival_rate=10.0))
+    assert first.sim.now > checkpoint_now
+    second = store.restore(CONFIG)
+    assert second is not first
+    assert second.sim.now == checkpoint_now
+    for xtrs in second.xtrs_by_site.values():
+        for xtr in xtrs:
+            assert xtr.map_cache.hits == 0 and xtr.map_cache.misses == 0

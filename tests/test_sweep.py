@@ -223,6 +223,22 @@ def test_cli_sweep_no_json(tmp_path, capsys):
     assert "--no-json" in capsys.readouterr().out
 
 
+def test_cli_sweep_snapshot_dir(tmp_path, capsys):
+    """--snapshot-dir persists blobs; the rerun builds nothing and says so."""
+    args = ["sweep", "--preset", "smoke", "--workers", "2",
+            "--sites", "3", "--seeds", "1", "--flows", "6",
+            "--no-json", "--jsonl", str(tmp_path / "cells.jsonl"),
+            "--snapshot-dir", str(tmp_path / "worlds")]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "snapshot store (persistent)" in out
+    assert "2 built" in out
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "0 built" in out
+    assert "2 blob hits" in out
+
+
 def test_grid_overrides_may_shadow_axis_fields():
     """Overrides win over axis-derived kwargs instead of raising TypeError."""
     grid = SweepGrid(control_planes=("alt",), site_counts=(4,), seeds=(1,),

@@ -10,9 +10,8 @@ from repro.experiments.sweep import (SweepGrid, expand_grid, payload_digest,
 from repro.experiments.workload import WorkloadConfig, run_workload
 from repro.experiments.worldbuild import (WorldBuilder, build_world,
                                           restore_world, world_key)
-from repro.net.routing import (RoutingPlan, build_adjacency,
-                               install_mesh_routes, mesh_fingerprint,
-                               path_delay)
+from repro.net.routing import (build_adjacency, install_mesh_routes,
+                               mesh_fingerprint, path_delay)
 from repro.net.topology import build_topology
 from repro.sim import Simulator
 
@@ -252,10 +251,18 @@ def test_sweep_reuses_worlds_and_streams_jsonl(tmp_path):
     serial = run_sweep(SHARED, workers=1, jsonl_path=str(jsonl_path))
     fanned = run_sweep(SHARED, workers=2)
     assert payload_digest(serial) == payload_digest(fanned)
-    # 2 worlds (one per control plane), 4 cells each -> 6 hits either way.
+    # Serial: 2 worlds (one per control plane), 4 cells each -> 6 LRU hits.
     assert serial["world_cache"]["hits"] == 6
-    assert fanned["world_cache"]["hits"] == 6
     assert serial["world_cache"]["builds"] == 2
+    # Fanned: the pre-build stage builds each world exactly once into the
+    # shared store; workers never build, they restore from blobs (each
+    # worker's first touch of a world) or hit their in-process LRU.
+    fanned_cache = fanned["world_cache"]
+    assert fanned_cache["builds"] == 2
+    assert fanned_cache["store"]["builds"] == 2
+    assert fanned_cache["restores"] >= 2
+    assert fanned_cache["restores"] == fanned_cache["misses"]
+    assert fanned_cache["hits"] + fanned_cache["restores"] == 8
     # The stream carries every cell plus its world-cache outcome...
     lines = [json.loads(line) for line in
              jsonl_path.read_text().strip().splitlines()]
@@ -265,22 +272,44 @@ def test_sweep_reuses_worlds_and_streams_jsonl(tmp_path):
         == serial["cells"]
 
 
-def test_group_splitting_keeps_workers_busy():
-    """One world key + many workload cells must still fan out (with digest
-    equality preserved, since split groups just rebuild the world)."""
-    from repro.experiments.sweep import group_cells_by_world
+def test_ungrouped_dispatch_keeps_workers_busy():
+    """One world key + many workload cells fans out cell-by-cell (digest
+    equality preserved: every worker restores the same world blob)."""
+    from repro.experiments.sweep import order_cells_by_world
 
     grid = SweepGrid(control_planes=("alt",), site_counts=(3,), seeds=(1,),
                      zipf_values=(0.0, 0.5, 1.0, 1.5), num_flows=8,
                      arrival_rate=10.0)
     cells = expand_grid(grid)
-    assert len(group_cells_by_world(cells, workers=1)) == 1
-    split = group_cells_by_world(cells, workers=4)
-    assert len(split) == 4
-    assert sorted(cell.index for group in split for cell in group) \
-        == [cell.index for cell in cells]
-    assert payload_digest(run_sweep(grid, workers=4)) \
-        == payload_digest(run_sweep(grid, workers=1))
+    assert [cell.index for cell in order_cells_by_world(cells)] \
+        == [cell.index for cell in cells]  # single world: order unchanged
+    fanned = run_sweep(grid, workers=4)
+    assert payload_digest(fanned) == payload_digest(run_sweep(grid, workers=1))
+    # One build (the store's), every worker restore served from its blob.
+    assert fanned["world_cache"]["builds"] == 1
+    assert fanned["world_cache"]["store"]["builds"] == 1
+
+
+def test_serial_ordering_groups_same_world_cells():
+    """Serial runs keep same-world cells adjacent so the LRU never thrashes,
+    even when the seeds axis interleaves more worlds than max_worlds."""
+    from repro.experiments.sweep import order_cells_by_world
+
+    grid = SweepGrid(control_planes=("alt",), site_counts=(3,),
+                     seeds=(1, 2, 3), zipf_values=(0.0, 1.0), num_flows=6,
+                     arrival_rate=10.0)
+    cells = expand_grid(grid)
+    ordered = order_cells_by_world(cells)
+    assert sorted(c.index for c in ordered) == [c.index for c in cells]
+    seen = []
+    for cell in ordered:
+        key = (cell.scenario.control_plane, cell.scenario.seed)
+        if key not in seen:
+            seen.append(key)
+        else:
+            assert key == seen[-1], "same-world cells must be contiguous"
+    payload = run_sweep(grid, workers=1, max_worlds=1)
+    assert payload["world_cache"]["builds"] == 3  # one per seed, max_worlds=1
 
 
 def test_expand_grid_new_axes_and_cell_ids():

@@ -36,6 +36,10 @@ SPEEDUP_RATIOS = {
     # 500-site amortization (local runs only).
     "live_snapshot_restore_500": ("test_bench_world_build[500]",
                                   "test_bench_snapshot_500_site_amortization"),
+    # Pacing overhead at 60 sites: shaped sender / constant-spacing sender
+    # (an overhead ratio — the benchmark gates it at <= 1.5x locally).
+    "pacing_overhead_60": ("test_bench_workload_shaped",
+                           "test_bench_workload_constant"),
 }
 
 SCHEMA = "repro.bench/v1"

@@ -1,0 +1,78 @@
+"""Benchmarks for the workload sender: pacing overhead at 60 sites.
+
+The shaped sender (mice burst, elephants pace — per-flow plans plus
+per-link byte accounting on every hop) must stay within
+``PACING_OVERHEAD_CEILING`` of the historical constant-spacing sender on
+the same world and flow mix.  Both runs restore the same cached 60-site
+world, so the comparison times exactly the workload + accounting hot
+path, not world construction.
+"""
+
+import os
+import time
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.workload import WorkloadConfig, run_workload
+from repro.experiments.worldbuild import WorldBuilder
+
+#: Shaped-vs-constant wall-time ceiling the overhead benchmark asserts.
+#: Locally the contract is 1.5x (observed well under); CI runners are noisy
+#: single-shot timers, so the workflow relaxes the gate via this env var.
+PACING_OVERHEAD_CEILING = float(
+    os.environ.get("REPRO_PACING_OVERHEAD_CEILING", "1.5"))
+
+CONFIG = ScenarioConfig(control_plane="pce", num_sites=60, num_providers=8,
+                        access_rate_bps=10_000_000.0, tracing=False)
+
+
+def _workload(pacing):
+    return WorkloadConfig(num_flows=150, arrival_rate=60.0, zipf_s=1.2,
+                          size_dist="pareto", packets_per_flow=6,
+                          payload_bytes=1200, pacing=pacing,
+                          pace_rate_bps=2_000_000.0)
+
+
+_BUILDER = WorldBuilder(max_worlds=1)
+
+
+def _run(pacing):
+    scenario = _BUILDER.scenario_for(CONFIG)  # build once, restore after
+    return run_workload(scenario, _workload(pacing))
+
+
+def test_bench_workload_constant(benchmark):
+    """Constant-spacing sender at 60 sites (the pacing-overhead baseline)."""
+    _run("constant")  # warm the world cache: time a restore+run, not a build
+    records = benchmark.pedantic(_run, args=("constant",),
+                                 rounds=1, iterations=1)
+    assert len(records) == 150
+    assert all(r.flow_kind == "constant" for r in records if not r.failed)
+
+
+def test_bench_workload_shaped(benchmark):
+    """Shaped sender must stay within the overhead ceiling of constant."""
+    _run("shaped")  # warm the world cache so both sides time a restore+run
+
+    rounds = 3
+    started = time.perf_counter()
+    for _ in range(rounds):
+        _run("constant")
+    constant_elapsed = (time.perf_counter() - started) / rounds
+
+    started = time.perf_counter()
+    for _ in range(rounds - 1):
+        _run("shaped")
+    records = benchmark.pedantic(_run, args=("shaped",),
+                                 rounds=1, iterations=1)
+    shaped_elapsed = (time.perf_counter() - started
+                      + benchmark.stats.stats.total) / rounds
+
+    kinds = {r.flow_kind for r in records if not r.failed}
+    assert "mouse" in kinds and "elephant" in kinds, (
+        f"shaped run produced no mice/elephant mix: {kinds}")
+    overhead = shaped_elapsed / constant_elapsed
+    print(f"\n  constant {constant_elapsed:.3f}s, shaped {shaped_elapsed:.3f}s "
+          f"-> {overhead:.2f}x")
+    assert overhead <= PACING_OVERHEAD_CEILING, (
+        f"shaped sender {overhead:.2f}x slower than constant spacing "
+        f"(ceiling {PACING_OVERHEAD_CEILING}x)")

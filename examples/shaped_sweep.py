@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Size-aware traffic shaping: byte accounting and pacing as sweep axes.
+
+Runs a shrunk version of the built-in ``shaped`` preset (CLI:
+``python -m repro sweep --preset shaped``): heavy-tailed (bounded Pareto)
+flow sizes on 10 Mbit/s access links, with the pacing axis comparing the
+historical constant-spacing sender against shaped traffic — mice burst
+back-to-back, elephants pace their packets at 2 Mbit/s.
+
+Every link meters bytes per flow (offered / delivered / dropped), so the
+aggregates carry a byte-conservation verdict and real link utilization;
+the determinism contract — ``--workers 1`` vs ``N`` digests byte-identical
+— extends to the shaped cells unchanged.
+
+Run:  python examples/shaped_sweep.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.sweep import PRESETS, payload_digest, run_sweep
+from repro.metrics import format_table
+
+
+def main():
+    grid = replace(PRESETS["shaped"], name="shaped-demo", site_counts=(4,),
+                   seeds=(31,), num_flows=24)
+
+    payload = run_sweep(grid, workers=2)
+    rows = [(a["control_plane"], a["pacing"], a["cells"], a["flows"],
+             a["packets_lost"], a["bytes_offered"], a["bytes_dropped"],
+             "ok" if a["bytes_conserved"] else "VIOLATED",
+             f"{a['access_util_peak']:.2f}")
+            for a in payload["aggregates"]]
+    print(format_table(("system", "pacing", "cells", "flows", "pkts_lost",
+                        "bytes_offered", "bytes_dropped", "conserved",
+                        "peak_util"), rows,
+                       title=f"sweep '{grid.name}': {payload['num_cells']} cells"))
+
+    # Pacing moves bytes in time, not in volume: shaped cells offer the
+    # same flow byte budgets as their constant-spacing twins (same worlds,
+    # same size draws) while spreading elephants and compressing mice.
+    budgets = {}
+    for cell in payload["cells"]:
+        key = (cell["control_plane"], cell["seed"])
+        budgets.setdefault(key, set()).add(
+            cell["metrics"]["flow_bytes_budget"])
+    same_budgets = all(len(values) == 1 for values in budgets.values())
+
+    conserved = all(a["bytes_conserved"] for a in payload["aggregates"])
+    replay = run_sweep(grid, workers=1)
+    deterministic = payload_digest(replay) == payload_digest(payload)
+    print()
+    print(f"  [{'ok' if conserved else 'MISMATCH'}] every link conserved "
+          "bytes (offered == delivered + dropped) in every cell")
+    print(f"  [{'ok' if same_budgets else 'MISMATCH'}] pacing changed when "
+          "bytes moved, never how many the flows budgeted")
+    print(f"  [{'ok' if deterministic else 'MISMATCH'}] workers=2 and "
+          "workers=1 produce identical aggregates")
+    return 0 if conserved and same_budgets and deterministic else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

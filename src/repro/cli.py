@@ -15,25 +15,27 @@ Parameter sweeps (``repro sweep``)
 ----------------------------------
 
 ``sweep`` expands a declarative grid (control plane x site count x seed x
-Zipf skew x flow-size distribution x RLOC-failure fraction) into
-scenario/workload cells, pre-builds each distinct world exactly once into
-a shared snapshot store (workers restore serialized world blobs instead
-of rebuilding; ``--snapshot-dir`` persists them across invocations),
-fans the cells out across a persistent worker pool, streams per-cell
-results to a JSONL artifact, and writes aggregated JSON/CSV artifacts::
+Zipf skew x flow-size distribution x pacing mode x RLOC-failure fraction)
+into scenario/workload cells, pre-builds each distinct world exactly once
+into a shared snapshot store (workers restore serialized world blobs
+instead of rebuilding; ``--snapshot-dir`` persists them across
+invocations), fans the cells out across a persistent worker pool, streams
+per-cell results to a JSONL artifact, and writes aggregated JSON/CSV
+artifacts::
 
     python -m repro sweep                       # "smoke" preset, 1 worker
     python -m repro sweep --preset scale --workers 4 \\
         --json sweep.json --csv sweep.csv       # 48 cells incl. 120 sites
     python -m repro sweep --preset failover     # RLOC failures mid-workload
+    python -m repro sweep --preset shaped       # size-aware traffic shaping
     python -m repro sweep --preset baselines --sites 4 16 --seeds 1 2 3 \\
-        --size-dists constant pareto
+        --size-dists constant pareto --pacings constant shaped
     python -m repro sweep --preset scale --workers 4 \\
         --snapshot-dir ~/.cache/repro-worlds    # rerun: zero world builds
 
 Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
-(``--control-planes/--sites/--seeds/--zipf/--size-dists/--fail-fractions/
---flows/--mode``) override the chosen preset's axes.  Aggregates are
+(``--control-planes/--sites/--seeds/--zipf/--size-dists/--pacings/
+--fail-fractions/--flows/--mode``) override the chosen preset's axes.  Aggregates are
 deterministic: the same grid and seeds produce byte-identical JSON for any
 ``--workers`` value (world-cache counters are reported separately).  For
 giant grids, ``--no-json`` keeps the run memory-flat: aggregation and CSV
@@ -173,6 +175,9 @@ def build_parser():
     sweep.add_argument("--zipf", nargs="+", type=float, default=None)
     sweep.add_argument("--size-dists", nargs="+", default=None,
                        help="flow-size distributions (constant/pareto/lognormal)")
+    sweep.add_argument("--pacings", nargs="+", default=None,
+                       help="pacing modes (constant/shaped: mice burst, "
+                            "elephants pace at the workload's target rate)")
     sweep.add_argument("--fail-fractions", nargs="+", type=float, default=None,
                        help="fractions of sites whose primary RLOC fails")
     sweep.add_argument("--flows", type=int, default=None)
@@ -207,6 +212,8 @@ def _run_sweep_command(args):
         overrides["zipf_values"] = tuple(args.zipf)
     if args.size_dists is not None:
         overrides["size_dists"] = tuple(args.size_dists)
+    if args.pacings is not None:
+        overrides["pacings"] = tuple(args.pacings)
     if args.fail_fractions is not None:
         overrides["fail_fractions"] = tuple(args.fail_fractions)
     if args.flows is not None:
@@ -237,16 +244,18 @@ def _run_sweep_command(args):
         print(f"sweep error: {error}")
         return 1
     rows = [(a["control_plane"], a["num_sites"], a["zipf_s"], a["size_dist"],
-             f"{a['fail_fraction']:g}", a["cells"],
+             a["pacing"], f"{a['fail_fraction']:g}", a["cells"],
              a["flows"], a["first_packet_drops"], a["packets_lost"],
              "-" if a["cache_hit_ratio_mean"] is None
              else f"{a['cache_hit_ratio_mean']:.3f}",
              "-" if a["setup_p95_mean"] is None
-             else f"{a['setup_p95_mean'] * 1000:.2f} ms")
+             else f"{a['setup_p95_mean'] * 1000:.2f} ms",
+             "ok" if a["bytes_conserved"] else "VIOLATED",
+             f"{a['access_util_peak']:.2f}")
             for a in payload["aggregates"]]
-    print(format_table(("system", "sites", "zipf", "sizes", "fail", "cells",
-                        "flows", "first_pkt_drops", "pkts_lost", "hit_ratio",
-                        "setup_p95"), rows,
+    print(format_table(("system", "sites", "zipf", "sizes", "pacing", "fail",
+                        "cells", "flows", "first_pkt_drops", "pkts_lost",
+                        "hit_ratio", "setup_p95", "bytes", "util"), rows,
                        title=f"sweep '{grid.name}': {payload['num_cells']} cells"))
     cache = payload["world_cache"]
     print(f"world cache: {cache['hits']} hits / {cache['restores']} restores "

@@ -11,6 +11,7 @@
 """
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.core.control_plane import deploy_pce_control_plane
 from repro.dns.hierarchy import install_dns
@@ -74,6 +75,11 @@ class ScenarioConfig:
     # Topology delay ranges (seconds)
     wan_delay_range: tuple = (0.010, 0.040)
     access_delay_range: tuple = (0.001, 0.005)
+    #: Transmission rate of the site access links in bits/second; ``None``
+    #: keeps them infinite (zero serialisation delay) as the paper's
+    #: latency formulas assume.  Shaped-traffic scenarios set a finite rate
+    #: so link busy time — and therefore utilization — is real.
+    access_rate_bps: Optional[float] = None
 
     def variant(self, **overrides):
         """A copy with fields overridden (for sweeps)."""
@@ -121,13 +127,82 @@ class Scenario:
         return self.miss_policy.stats.dropped
 
     def access_byte_shares(self, site, direction="in"):
-        """Per-provider byte share of *site*'s access links (E4)."""
+        """Per-provider byte share of *site*'s access links (E4).
+
+        Counts every transmitted byte — data plane *and* control plane
+        (mapping pushes, probes, DNS transit).  For the data-plane-only
+        view the TE experiments report, see :meth:`access_flow_byte_shares`.
+        """
         key = "downlink" if direction == "in" else "uplink"
         counts = [links[key].stats.tx_bytes for links in site.access_links]
         total = sum(counts)
         if total == 0:
             return [0.0] * len(counts)
         return [count / total for count in counts]
+
+    def access_flow_byte_shares(self, site, direction="in"):
+        """Per-provider share of flow-accounted *delivered* bytes (E4).
+
+        Reads the per-flow byte accounting on *site*'s access links, so
+        only data-plane traffic (packets carrying a flow id, however
+        deeply encapsulated) participates — control-plane chatter no
+        longer skews the TE balance figures the way raw ``tx_bytes`` does.
+        """
+        key = "downlink" if direction == "in" else "uplink"
+        counts = [sum(account.delivered
+                      for account in links[key].stats.flows.values())
+                  for links in site.access_links]
+        total = sum(counts)
+        if total == 0:
+            return [0.0] * len(counts)
+        return [count / total for count in counts]
+
+    def access_link_utilization(self, site, direction="in"):
+        """Per-provider peak window utilization of *site*'s access links.
+
+        Busy-time based, so it is 0.0 unless the scenario gives its access
+        links a finite rate (``ScenarioConfig.access_rate_bps``).
+        """
+        key = "downlink" if direction == "in" else "uplink"
+        return [links[key].stats.peak_utilization()
+                for links in site.access_links]
+
+    def iter_links(self):
+        """Every link in the world, each exactly once."""
+        seen = set()
+        for node in self.topology.all_nodes():
+            for iface in node.interfaces.values():
+                link = iface.link
+                if link is not None and id(link) not in seen:
+                    seen.add(id(link))
+                    yield link
+
+    def byte_accounting(self, drained=False):
+        """World-wide link byte totals plus the conservation verdict.
+
+        Sums offered/delivered/dropped/in-flight bytes over every link and
+        collects per-link conservation violations (see
+        :meth:`~repro.net.link.LinkStats.conservation_violations`); with
+        ``drained=True`` bytes still in flight count as violations too.
+        """
+        offered = delivered = dropped = in_flight = 0
+        violations = []
+        for link in self.iter_links():
+            stats = link.stats
+            offered += stats.bytes_offered
+            delivered += stats.bytes_delivered
+            dropped += stats.bytes_dropped
+            in_flight += stats.bytes_in_flight
+            for violation in stats.conservation_violations(drained=drained):
+                violations.append((link.name, *violation))
+        return {
+            "bytes_offered": offered,
+            "bytes_delivered": delivered,
+            "bytes_dropped": dropped,
+            "bytes_in_flight": in_flight,
+            "conserved": not violations,
+            "violations": violations,
+        }
 
     def stateful_components(self):
         """Every object holding run-mutable state, for world checkpointing.
@@ -196,6 +271,7 @@ def build_scenario(config):
         hosts_per_site=config.hosts_per_site,
         wan_delay_range=config.wan_delay_range,
         access_delay_range=config.access_delay_range,
+        access_rate_bps=config.access_rate_bps,
         eids_globally_routable=(config.control_plane == "plain"),
     )
     if config.fig1:

@@ -3,7 +3,7 @@
 The experiment modules (E1-E9) each run a handful of hand-picked worlds.
 This module is the scaling counterpart: a :class:`SweepGrid` declares axes
 (control plane x site count x seed x workload skew x flow-size distribution
-x RLOC-failure fraction), :func:`expand_grid` turns it into concrete
+x pacing mode x RLOC-failure fraction), :func:`expand_grid` turns it into concrete
 :class:`SweepCell` objects — one
 :class:`~repro.experiments.scenario.ScenarioConfig` /
 :class:`~repro.experiments.workload.WorkloadConfig` pair per cell — and
@@ -77,12 +77,15 @@ from repro.experiments.worldbuild import (SnapshotStore, WorldBuilder,
                                           WorldCacheStats, build_world,
                                           serialize_world, world_key)
 from repro.metrics.stats import summarize
-from repro.traffic.popularity import SIZE_DISTRIBUTIONS
+from repro.traffic.popularity import PACING_MODES, SIZE_DISTRIBUTIONS
 
-#: Schema tag written into every JSON artifact.  v3: ``sim_events`` counts
-#: periodic background ticks, aggregate means are exactly-rounded (fsum),
-#: and memory-flat payloads (``--no-json``) omit the ``cells`` key.
-SCHEMA = "repro.sweep/v3"
+#: Schema tag written into every JSON artifact.  v4: the ``pacing`` axis
+#: joins the group key, and per-cell metrics carry link byte accounting
+#: (``bytes_offered``/``bytes_delivered``/``bytes_dropped``/
+#: ``bytes_in_flight``, the ``bytes_conserved`` verdict, flow byte budgets
+#: and the peak access-link utilization).  v3 added ``sim_events``
+#: periodic ticks, fsum means, and the optional ``cells`` key.
+SCHEMA = "repro.sweep/v4"
 
 #: Default per-worker world-cache capacity.
 DEFAULT_MAX_WORLDS = 4
@@ -93,14 +96,18 @@ class SweepGrid:
     """Declarative axes of a sweep plus shared scenario/workload knobs.
 
     The cross product ``control_planes x site_counts x zipf_values x
-    size_dists x fail_fractions x seeds`` defines the cells, in that
-    nesting order.  ``scenario_overrides`` and ``workload_overrides`` apply
-    to every cell (any :class:`ScenarioConfig` / :class:`WorkloadConfig`
-    field).
+    size_dists x pacings x fail_fractions x seeds`` defines the cells, in
+    that nesting order.  ``scenario_overrides`` and ``workload_overrides``
+    apply to every cell (any :class:`ScenarioConfig` /
+    :class:`WorkloadConfig` field).
 
     ``size_dists`` selects per-cell flow-size distributions (heavy-tailed
     bounded Pareto / lognormal around ``packets_per_flow``; see
-    :class:`~repro.traffic.popularity.FlowSizeSampler`).  ``fail_fractions``
+    :class:`~repro.traffic.popularity.FlowSizeSampler`).  ``pacings``
+    selects how those sizes hit the links per cell: ``constant`` keeps the
+    historical fixed inter-packet spacing, ``shaped`` bursts mice
+    back-to-back and paces elephants at the workload's target rate (see
+    :class:`~repro.traffic.popularity.FlowShaper`).  ``fail_fractions``
     injects the E9 RLOC-failure machinery as an axis: a fraction of sites
     lose their primary access link at ``fail_at`` and regain it at
     ``repair_at`` (simulated seconds after the workload starts).
@@ -112,6 +119,7 @@ class SweepGrid:
     seeds: tuple = (1,)
     zipf_values: tuple = (1.0,)
     size_dists: tuple = ("constant",)
+    pacings: tuple = ("constant",)
     fail_fractions: tuple = (0.0,)
     fail_at: float = 1.0
     repair_at: float = 3.0
@@ -162,6 +170,9 @@ def expand_grid(grid):
     for size_dist in grid.size_dists:
         if size_dist not in SIZE_DISTRIBUTIONS:
             raise ValueError(f"unknown size distribution {size_dist!r}")
+    for pacing in grid.pacings:
+        if pacing not in PACING_MODES:
+            raise ValueError(f"unknown pacing mode {pacing!r}")
     for fraction in grid.fail_fractions:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fail fraction {fraction!r} outside [0, 1]")
@@ -170,16 +181,18 @@ def expand_grid(grid):
         for num_sites in grid.site_counts:
             for zipf_s in grid.zipf_values:
                 for size_dist in grid.size_dists:
-                    for fraction in grid.fail_fractions:
-                        for seed in grid.seeds:
-                            cells.append(_make_cell(
-                                grid, len(cells), control_plane, num_sites,
-                                zipf_s, size_dist, fraction, seed))
+                    for pacing in grid.pacings:
+                        for fraction in grid.fail_fractions:
+                            for seed in grid.seeds:
+                                cells.append(_make_cell(
+                                    grid, len(cells), control_plane,
+                                    num_sites, zipf_s, size_dist, pacing,
+                                    fraction, seed))
     return cells
 
 
 def _make_cell(grid, index, control_plane, num_sites, zipf_s, size_dist,
-               fraction, seed):
+               pacing, fraction, seed):
     # Overrides win over axis-derived values (so a grid can e.g. force
     # miss_policy or hosts_per_site per cell).
     scenario_kwargs = dict(
@@ -198,6 +211,7 @@ def _make_cell(grid, index, control_plane, num_sites, zipf_s, size_dist,
         zipf_s=zipf_s,
         mode=grid.mode,
         size_dist=size_dist,
+        pacing=pacing,
         packets_per_flow=grid.packets_per_flow)
     workload_kwargs.update(grid.workload_overrides)
     workload = WorkloadConfig(**workload_kwargs)
@@ -208,6 +222,8 @@ def _make_cell(grid, index, control_plane, num_sites, zipf_s, size_dist,
     cell_id = f"{control_plane}-sites{num_sites}-zipf{zipf_s:g}"
     if size_dist != "constant":
         cell_id += f"-size{size_dist}"
+    if pacing != "constant":
+        cell_id += f"-{pacing}"
     if fraction > 0.0:
         cell_id += f"-fail{fraction:g}"
     cell_id += f"-seed{seed}"
@@ -292,6 +308,18 @@ def run_cell(cell, builder=None):
     else:
         control_messages = control_bytes = 0
 
+    # World-wide link byte accounting: conservation is checked per link and
+    # per flow (in-flight bytes at the workload deadline are legal; a
+    # negative residue anywhere is not), and access-link utilization is the
+    # peak busy-window fraction over every site's access links.
+    accounting = scenario.byte_accounting()
+    access_util_peak = max(
+        (utilization
+         for site in scenario.topology.sites
+         for direction in ("in", "out")
+         for utilization in scenario.access_link_utilization(site, direction)),
+        default=0.0)
+
     metrics = {
         "flows": len(records),
         "flows_failed": sum(1 for r in records if r.failed),
@@ -315,6 +343,14 @@ def run_cell(cell, builder=None):
         if setup_latencies else None,
         "control_messages": control_messages,
         "control_bytes": control_bytes,
+        "bytes_offered": accounting["bytes_offered"],
+        "bytes_delivered": accounting["bytes_delivered"],
+        "bytes_dropped": accounting["bytes_dropped"],
+        "bytes_in_flight": accounting["bytes_in_flight"],
+        "bytes_conserved": accounting["conserved"],
+        "flow_bytes_budget": sum(r.bytes_budget for r in records),
+        "flow_bytes_sent": sum(r.bytes_sent for r in records),
+        "access_util_peak": round(access_util_peak, 6),
         "sim_events": scenario.sim.processed_events,
         "sim_end_time": round(scenario.sim.now, 9),
     }
@@ -326,6 +362,7 @@ def run_cell(cell, builder=None):
         "seed": cell.scenario.seed,
         "zipf_s": cell.workload.zipf_s,
         "size_dist": cell.workload.size_dist,
+        "pacing": cell.workload.pacing,
         "fail_fraction": cell.failure.fraction if cell.failure else 0.0,
         "mode": cell.workload.mode,
         "metrics": metrics,
@@ -468,11 +505,12 @@ def _iter_completed(cells, workers, max_worlds, store=None, snapshot_dir=None):
 
 #: Result fields that identify one aggregate group (everything but the seed).
 _GROUP_FIELDS = ("control_plane", "num_sites", "zipf_s", "size_dist",
-                 "fail_fraction")
+                 "pacing", "fail_fraction")
 
 #: Integer counters summed straight off each cell's metrics dict.
 _SUM_FIELDS = ("flows", "packets_lost", "first_packet_drops",
-               "control_messages", "sim_events")
+               "control_messages", "sim_events", "bytes_offered",
+               "bytes_delivered", "bytes_dropped")
 
 
 class AggregateFold:
@@ -500,7 +538,8 @@ class AggregateFold:
         if state is None:
             state = self._groups[key] = {
                 "cells": 0, "seeds": [], "hit_ratios": [], "setup_p95s": [],
-                "dns_p95_max": None,
+                "dns_p95_max": None, "bytes_conserved": True,
+                "access_util_peak": 0.0,
                 **{name: 0 for name in _SUM_FIELDS},
             }
         metrics = result["metrics"]
@@ -508,6 +547,10 @@ class AggregateFold:
         state["seeds"].append(result["seed"])
         for name in _SUM_FIELDS:
             state[name] += metrics[name]
+        state["bytes_conserved"] = (state["bytes_conserved"]
+                                    and metrics["bytes_conserved"])
+        state["access_util_peak"] = max(state["access_util_peak"],
+                                        metrics["access_util_peak"])
         if metrics["cache_hit_ratio"] is not None:
             state["hit_ratios"].append(metrics["cache_hit_ratio"])
         if metrics["setup_latency"] is not None:
@@ -527,6 +570,8 @@ class AggregateFold:
             aggregate["seeds"] = sorted(state["seeds"])
             for name in _SUM_FIELDS:
                 aggregate[name] = state[name]
+            aggregate["bytes_conserved"] = state["bytes_conserved"]
+            aggregate["access_util_peak"] = round(state["access_util_peak"], 6)
             aggregate["cache_hit_ratio_mean"] = _exact_mean(
                 state["hit_ratios"], 6)
             aggregate["setup_p95_mean"] = _exact_mean(state["setup_p95s"], 9)
@@ -750,13 +795,16 @@ def write_json(payload, path):
 
 #: Flat per-cell CSV columns (scalars only; nested summaries get p50/p95).
 CSV_COLUMNS = ("index", "cell_id", "control_plane", "num_sites", "seed",
-               "zipf_s", "size_dist", "fail_fraction", "mode", "flows",
-               "flows_failed", "packets_sent", "packets_delivered",
+               "zipf_s", "size_dist", "pacing", "fail_fraction", "mode",
+               "flows", "flows_failed", "packets_sent", "packets_delivered",
                "packets_lost", "first_packet_drops", "cache_hit_ratio",
                "cache_expirations", "resolutions_started",
                "resolutions_failed", "map_cache_trie_nodes",
                "map_cache_entries", "dns_p50", "dns_p95", "setup_p50",
-               "setup_p95", "control_messages", "control_bytes", "sim_events")
+               "setup_p95", "control_messages", "control_bytes",
+               "bytes_offered", "bytes_delivered", "bytes_dropped",
+               "bytes_in_flight", "bytes_conserved", "flow_bytes_budget",
+               "flow_bytes_sent", "access_util_peak", "sim_events")
 
 
 def _csv_row(cell):
@@ -767,14 +815,17 @@ def _csv_row(cell):
     row = {
         **{key: cell[key] for key in
            ("index", "cell_id", "control_plane", "num_sites", "seed",
-            "zipf_s", "size_dist", "fail_fraction", "mode")},
+            "zipf_s", "size_dist", "pacing", "fail_fraction", "mode")},
         **{key: metrics[key] for key in
            ("flows", "flows_failed", "packets_sent",
             "packets_delivered", "packets_lost", "first_packet_drops",
             "cache_hit_ratio", "cache_expirations",
             "resolutions_started", "resolutions_failed",
             "map_cache_trie_nodes", "map_cache_entries",
-            "control_messages", "control_bytes", "sim_events")},
+            "control_messages", "control_bytes", "bytes_offered",
+            "bytes_delivered", "bytes_dropped", "bytes_in_flight",
+            "bytes_conserved", "flow_bytes_budget", "flow_bytes_sent",
+            "access_util_peak", "sim_events")},
         "dns_p50": dns.get("median", ""), "dns_p95": dns.get("p95", ""),
         "setup_p50": setup.get("median", ""),
         "setup_p95": setup.get("p95", ""),
@@ -877,6 +928,26 @@ PRESETS = {
         arrival_rate=40.0,
         mode="tcp",
         workload_overrides={"tcp_data_burst": True},
+    ),
+    # Size-aware traffic shaping: heavy-tailed flow sizes on rated access
+    # links, constant vs shaped pacing sharing worlds cell-to-cell.  Shaped
+    # cells burst mice back-to-back and pace elephants at 2 Mbit/s over
+    # 10 Mbit/s access links, so queueing, per-flow byte conservation and
+    # real link utilization all become visible in the artifacts.
+    "shaped": SweepGrid(
+        name="shaped",
+        control_planes=("pce", "alt"),
+        site_counts=(6,),
+        seeds=(31, 32),
+        zipf_values=(1.2,),
+        size_dists=("pareto",),
+        pacings=("constant", "shaped"),
+        num_flows=40,
+        arrival_rate=20.0,
+        packets_per_flow=6,
+        scenario_overrides={"access_rate_bps": 10_000_000.0},
+        workload_overrides={"pace_rate_bps": 2_000_000.0,
+                            "payload_bytes": 1200},
     ),
     # RLOC failure as a sweep axis: half the sites lose their primary
     # access link mid-workload; PCE runs with probing + backup locators so

@@ -1,20 +1,30 @@
 """Workload driver: Poisson flow arrivals over a scenario.
 
 Every flow mimics a connecting application: resolve the destination name,
-then either open a TCP connection (``mode="tcp"``) or emit a spaced UDP
-burst (``mode="udp"``).  With ``tcp_data_burst`` a successful handshake is
-followed by the sized data burst too, so flow-size distributions shape TCP
-workloads as well (the sweep engine's ``scale`` preset relies on this).
+then either open a TCP connection (``mode="tcp"``) or emit a sized UDP
+data phase (``mode="udp"``).  With ``tcp_data_burst`` a successful
+handshake is followed by the sized data phase too, so flow-size
+distributions shape TCP workloads as well (the sweep engine's ``scale``
+preset relies on this).
+
+The data phase is driven by a :class:`~repro.traffic.popularity.FlowShaper`:
+each flow draws a byte budget from its size distribution and a pacing plan.
+``pacing="constant"`` reproduces the historical constant-spacing sender
+byte-for-byte; ``pacing="shaped"`` makes the heavy tail temporal — mice
+burst back-to-back, elephants pace their packets at ``pace_rate_bps`` — so
+the size axis changes *when* bytes hit the links, not just how many.
+
 Per-flow :class:`~repro.traffic.flows.FlowRecord` objects collect DNS
-time, setup time, retransmissions and packet fates — the raw material for
-experiments E1/E3/E7.
+time, setup time, retransmissions, byte budgets and packet fates — the raw
+material for experiments E1/E3/E4/E7.
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.scenario import FLOW_TCP_PORT, FLOW_UDP_PORT
-from repro.traffic.flows import FlowRecord, next_flow_id, send_udp_burst
-from repro.traffic.popularity import FlowSizeSampler, ZipfSampler
+from repro.traffic.flows import FlowRecord, next_flow_id, send_flow
+from repro.traffic.popularity import FlowShaper, FlowSizeSampler, ZipfSampler
 
 
 @dataclass
@@ -29,7 +39,7 @@ class WorkloadConfig:
     #: In TCP mode, follow a successful handshake with the sized data
     #: burst (False keeps the handshake-only behaviour of E3).
     tcp_data_burst: bool = False
-    #: Flow-size distribution for UDP bursts ("constant"|"pareto"|"lognormal"):
+    #: Flow-size distribution for data phases ("constant"|"pareto"|"lognormal"):
     #: heavy tails around a mean of ``packets_per_flow`` packets.  The
     #: default draws nothing from the RNG, so constant-size workloads are
     #: byte-identical to the pre-size-distribution behaviour.
@@ -37,10 +47,33 @@ class WorkloadConfig:
     size_alpha: float = 1.4         # bounded-Pareto tail exponent
     size_sigma: float = 1.0         # lognormal shape
     size_max_factor: float = 50.0   # cap relative to the distribution scale
-    source_site: int = None         # None = uniformly random
-    dest_site: int = None           # None = Zipf over the other sites
+    #: Pacing mode ("constant"|"shaped").  ``constant`` sends every flow's
+    #: packets ``packet_spacing`` apart (the historical sender, event-level
+    #: identical); ``shaped`` bursts mice back-to-back and paces elephants
+    #: at ``pace_rate_bps``.
+    pacing: str = "constant"
+    pace_rate_bps: float = 2_000_000.0
+    #: Flows above this many packets are elephants (None: 2x the size mean).
+    elephant_threshold: Optional[float] = None
+    burst_spacing: float = 0.0      # mouse inter-packet gap (0 = one burst)
+    source_site: Optional[int] = None   # None = uniformly random
+    dest_site: Optional[int] = None     # None = Zipf over the other sites
     grace_period: float = 8.0       # settle time after the last arrival
     rng_name: str = "workload"
+
+
+def build_shaper(workload, rng=None):
+    """The :class:`FlowShaper` a workload's data phases draw plans from."""
+    sizes = FlowSizeSampler(dist=workload.size_dist,
+                            mean=workload.packets_per_flow,
+                            alpha=workload.size_alpha,
+                            sigma=workload.size_sigma,
+                            max_factor=workload.size_max_factor, rng=rng)
+    return FlowShaper(sizes, workload.payload_bytes, pacing=workload.pacing,
+                      spacing=workload.packet_spacing,
+                      pace_rate_bps=workload.pace_rate_bps,
+                      elephant_threshold=workload.elephant_threshold,
+                      burst_spacing=workload.burst_spacing)
 
 
 def run_workload(scenario, workload):
@@ -52,11 +85,7 @@ def run_workload(scenario, workload):
     if num_sites < 2:
         raise ValueError("workload needs at least two sites")
     zipf = ZipfSampler(num_sites - 1, s=workload.zipf_s, rng=rng)
-    sizes = FlowSizeSampler(dist=workload.size_dist,
-                            mean=workload.packets_per_flow,
-                            alpha=workload.size_alpha,
-                            sigma=workload.size_sigma,
-                            max_factor=workload.size_max_factor, rng=rng)
+    shaper = build_shaper(workload, rng=rng)
     records = []
 
     def pick_sites():
@@ -106,15 +135,11 @@ def run_workload(scenario, workload):
             record.setup_elapsed = setup
             record.syn_retransmissions = retries
             if workload.tcp_data_burst:
-                yield send_udp_burst(sim, src_host, address, FLOW_UDP_PORT,
-                                     record, count_packets=sizes.sample(),
-                                     payload_bytes=workload.payload_bytes,
-                                     spacing=workload.packet_spacing)
+                yield send_flow(sim, src_host, address, FLOW_UDP_PORT,
+                                record, shaper.plan())
         else:
-            yield send_udp_burst(sim, src_host, address, FLOW_UDP_PORT, record,
-                                 count_packets=sizes.sample(),
-                                 payload_bytes=workload.payload_bytes,
-                                 spacing=workload.packet_spacing)
+            yield send_flow(sim, src_host, address, FLOW_UDP_PORT, record,
+                            shaper.plan())
 
     arrival_time = 0.0
     last_arrival = 0.0
@@ -132,6 +157,12 @@ def run_workload(scenario, workload):
             delivered_by_flow[flow_id] = delivered_by_flow.get(flow_id, 0) + count
     for record in records:
         record.packets_delivered = delivered_by_flow.get(record.flow_id, 0)
+        # A flow cut off at the deadline before its DNS resolution finished
+        # never got an answer: mark it failed so downstream consumers (which
+        # treat destination/dns_done_at as Optional) can rely on the flag
+        # instead of re-deriving "incomplete" from a None timestamp.
+        if record.dns_done_at is None:
+            record.failed = True
     return records
 
 

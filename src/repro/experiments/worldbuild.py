@@ -123,8 +123,11 @@ SNAPSHOT_MAGIC = b"repro-world-snapshot\n"
 
 #: Version of the snapshot envelope layout.  Bumping it (or the engine's
 #: :data:`~repro.sim.engine.STATE_VERSION`) invalidates every existing
-#: blob: mismatched snapshots are rebuilt, never restored.
-SNAPSHOT_SCHEMA = 1
+#: blob: mismatched snapshots are rebuilt, never restored.  v2: link
+#: checkpoints carry per-flow byte accounting and utilization windows, and
+#: :class:`~repro.experiments.scenario.ScenarioConfig` grew
+#: ``access_rate_bps`` (world keys shifted).
+SNAPSHOT_SCHEMA = 2
 
 
 def _without_gc(func, *args, **kwargs):

@@ -5,28 +5,215 @@ of opposite simplex links (full duplex).  Transmission of a packet occupies
 the link for ``size * 8 / rate`` seconds; packets arriving while the
 transmitter is busy queue up to ``queue_capacity`` packets, beyond which they
 are tail-dropped.  Propagation delay is added after serialisation.
+
+Byte accounting
+---------------
+
+Every link meters the bytes that cross it: ``bytes_offered`` (presented to
+:meth:`Link.send`), ``bytes_delivered`` (handed to the destination node) and
+``bytes_dropped`` (tail drops plus down-link losses, whether at admission
+or mid-flight).  The difference is :attr:`LinkStats.bytes_in_flight` — bytes
+accepted but not yet delivered or dropped — so the conservation invariant
+
+    ``bytes_offered == bytes_delivered + bytes_dropped + bytes_in_flight``
+
+holds at *every* instant, and ``bytes_in_flight == 0`` once the simulation
+drains.  Packets that carry a flow id (``meta["flow_id"]`` on the innermost
+packet, so LISP encapsulation is transparent) are additionally accounted
+per flow in :attr:`LinkStats.flows`, which is what the sweep's
+byte-conservation columns and the TE experiments' data-plane load shares
+read.  Transmitter busy time and offered bytes are also bucketed into
+fixed-width utilization windows (:meth:`LinkStats.utilization_series`), the
+per-link load signal behind E4's utilization report.
 """
 
 from collections import deque
 
 
+class FlowAccount:
+    """Byte counters for one flow on one link."""
+
+    __slots__ = ("offered", "delivered", "dropped")
+
+    def __init__(self, offered=0, delivered=0, dropped=0):
+        self.offered = offered
+        self.delivered = delivered
+        self.dropped = dropped
+
+    @property
+    def in_flight(self):
+        """Bytes accepted but not yet delivered or dropped (>= 0 always)."""
+        return self.offered - self.delivered - self.dropped
+
+    def as_tuple(self):
+        return (self.offered, self.delivered, self.dropped)
+
+    def __repr__(self):
+        return (f"FlowAccount(offered={self.offered}, "
+                f"delivered={self.delivered}, dropped={self.dropped})")
+
+
 class LinkStats:
-    """Counters accumulated by a link over its lifetime."""
+    """Counters accumulated by a link over its lifetime.
 
-    __slots__ = ("tx_packets", "tx_bytes", "drops", "max_queue", "busy_time")
+    ``window_width`` buckets transmitter busy time and offered bytes into
+    fixed simulated-time windows (index ``int(now / window_width)``), kept
+    sparse in :attr:`windows` as ``index -> [busy_seconds, bytes]``.
+    """
 
-    def __init__(self):
+    __slots__ = ("tx_packets", "tx_bytes", "drops", "max_queue", "busy_time",
+                 "bytes_offered", "bytes_delivered", "bytes_dropped",
+                 "flows", "window_width", "windows")
+
+    def __init__(self, window_width=1.0):
         self.tx_packets = 0
         self.tx_bytes = 0
         self.drops = 0
         self.max_queue = 0
         self.busy_time = 0.0
+        self.bytes_offered = 0
+        self.bytes_delivered = 0
+        self.bytes_dropped = 0
+        #: flow id -> :class:`FlowAccount` (packets carrying a flow id only).
+        self.flows = {}
+        self.window_width = window_width
+        #: window index -> [busy_seconds, bytes_offered_to_transmitter].
+        self.windows = {}
+
+    @property
+    def bytes_in_flight(self):
+        """Bytes accepted by the link but not yet delivered or dropped.
+
+        Derived, not maintained: a hole in the delivery/drop accounting
+        shows up as a permanently positive residue, which is exactly what
+        the byte-conservation invariant tests look for.
+        """
+        return self.bytes_offered - self.bytes_delivered - self.bytes_dropped
 
     def utilization(self, elapsed):
         """Fraction of *elapsed* time the transmitter was busy."""
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_time / elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Byte accounting
+    # ------------------------------------------------------------------ #
+
+    def account_offered(self, size, flow_id):
+        self.bytes_offered += size
+        if flow_id is not None:
+            account = self.flows.get(flow_id)
+            if account is None:
+                account = self.flows[flow_id] = FlowAccount()
+            account.offered += size
+
+    def account_delivered(self, size, flow_id):
+        self.bytes_delivered += size
+        if flow_id is not None:
+            self.flows[flow_id].delivered += size
+
+    def account_dropped(self, size, flow_id):
+        self.bytes_dropped += size
+        if flow_id is not None:
+            self.flows[flow_id].dropped += size
+
+    def account_transmission(self, start, tx_time, size):
+        """Bucket one transmission into the utilization windows.
+
+        Busy seconds are split exactly across the window boundaries the
+        transmission spans; the packet's bytes land in the window where
+        serialisation started.
+        """
+        width = self.window_width
+        index = int(start / width)
+        window = self.windows.get(index)
+        if window is None:
+            window = self.windows[index] = [0.0, 0]
+        window[1] += size
+        if tx_time <= 0.0:
+            return
+        remaining = tx_time
+        position = start
+        while remaining > 0.0:
+            boundary = (index + 1) * width
+            slice_time = min(remaining, boundary - position)
+            window = self.windows.get(index)
+            if window is None:
+                window = self.windows[index] = [0.0, 0]
+            window[0] += slice_time
+            remaining -= slice_time
+            position = boundary
+            index += 1
+
+    def utilization_series(self):
+        """Sorted ``(window_start, busy_fraction, bytes)`` tuples.
+
+        ``busy_fraction`` is per-window transmitter utilization (0.0 on
+        infinite-rate links, whose serialisation time is zero); ``bytes``
+        is offered-to-transmitter volume, a load signal that works with or
+        without a configured rate.
+        """
+        width = self.window_width
+        return [(index * width, min(1.0, busy / width), volume)
+                for index, (busy, volume) in sorted(self.windows.items())]
+
+    def peak_utilization(self):
+        """The busiest window's utilization (0.0 when nothing transmitted)."""
+        if not self.windows:
+            return 0.0
+        return min(1.0, max(busy for busy, _volume in self.windows.values())
+                   / self.window_width)
+
+    def conservation_violations(self, drained=False):
+        """Per-flow (and total) byte-conservation breaches on this link.
+
+        Offered bytes may exceed delivered+dropped only by what is still
+        in flight; with ``drained=True`` (the simulation has no pending
+        work) nothing may remain in flight at all.  Returns a list of
+        ``(flow_id, offered, delivered, dropped)`` tuples, flow id ``None``
+        for the link totals.
+        """
+        violations = []
+        floor = 0
+        residue = self.bytes_in_flight
+        if residue < floor or (drained and residue != 0):
+            violations.append((None, self.bytes_offered,
+                               self.bytes_delivered, self.bytes_dropped))
+        for flow_id, account in self.flows.items():
+            residue = account.in_flight
+            if residue < floor or (drained and residue != 0):
+                violations.append((flow_id, account.offered,
+                                   account.delivered, account.dropped))
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # World-reuse checkpointing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self):
+        return (self.tx_packets, self.tx_bytes, self.drops, self.max_queue,
+                self.busy_time, self.bytes_offered, self.bytes_delivered,
+                self.bytes_dropped,
+                {flow_id: account.as_tuple()
+                 for flow_id, account in self.flows.items()},
+                self.window_width,
+                {index: (busy, volume)
+                 for index, (busy, volume) in self.windows.items()})
+
+    def restore_state(self, state):
+        (self.tx_packets, self.tx_bytes, self.drops, self.max_queue,
+         self.busy_time, self.bytes_offered, self.bytes_delivered,
+         self.bytes_dropped, flows, self.window_width, windows) = state
+        self.flows = {flow_id: FlowAccount(*counts)
+                      for flow_id, counts in flows.items()}
+        self.windows = {index: [busy, volume]
+                        for index, (busy, volume) in windows.items()}
+
+
+def _flow_id_of(packet):
+    """The flow id a packet carries, looking through encapsulation."""
+    return packet.innermost().meta.get("flow_id")
 
 
 class Link:
@@ -44,10 +231,13 @@ class Link:
         that latency is dominated by propagation as in the paper's formulas.
     queue_capacity:
         Maximum packets waiting behind the one being serialised.
+    util_window:
+        Width (simulated seconds) of the utilization windows busy time and
+        offered bytes are bucketed into.
     """
 
     def __init__(self, sim, src_interface, dst_interface, delay=0.001, rate_bps=None,
-                 queue_capacity=1000, name=None):
+                 queue_capacity=1000, name=None, util_window=1.0):
         if delay < 0:
             raise ValueError(f"negative link delay {delay}")
         self.sim = sim
@@ -57,7 +247,7 @@ class Link:
         self.rate_bps = rate_bps
         self.queue_capacity = queue_capacity
         self.name = name or f"{src_interface}->{dst_interface}"
-        self.stats = LinkStats()
+        self.stats = LinkStats(window_width=util_window)
         self._queue = deque()
         self._busy = False
         self.up = True
@@ -67,13 +257,18 @@ class Link:
 
     def send(self, packet):
         """Accept *packet* for transmission; returns False on tail drop."""
+        size = packet.size_bytes
+        flow_id = _flow_id_of(packet)
+        self.stats.account_offered(size, flow_id)
         if not self.up:
             self.stats.drops += 1
+            self.stats.account_dropped(size, flow_id)
             self.sim.trace.record(self.sim.now, self.name, "link.drop", reason="down",
                                   uid=packet.uid)
             return False
         if self._busy and len(self._queue) >= self.queue_capacity:
             self.stats.drops += 1
+            self.stats.account_dropped(size, flow_id)
             self.sim.trace.record(self.sim.now, self.name, "link.drop", reason="queue-full",
                                   uid=packet.uid)
             return False
@@ -91,10 +286,12 @@ class Link:
 
     def _transmit(self, packet):
         self._busy = True
+        size = packet.size_bytes
         tx_time = self._serialisation_time(packet)
         self.stats.busy_time += tx_time
         self.stats.tx_packets += 1
-        self.stats.tx_bytes += packet.size_bytes
+        self.stats.tx_bytes += size
+        self.stats.account_transmission(self.sim.now, tx_time, size)
         self.sim.call_in(tx_time, self._transmission_done, packet)
 
     def _transmission_done(self, packet):
@@ -106,9 +303,13 @@ class Link:
             self._busy = False
 
     def _deliver(self, packet):
+        size = packet.size_bytes
+        flow_id = _flow_id_of(packet)
         if not self.up:
             self.stats.drops += 1
+            self.stats.account_dropped(size, flow_id)
             return
+        self.stats.account_delivered(size, flow_id)
         self.dst_interface.node.receive(packet, self.dst_interface)
 
     @property
@@ -117,27 +318,27 @@ class Link:
         return len(self._queue)
 
     def snapshot_state(self):
-        stats = self.stats
-        return (self.up, self._busy, stats.tx_packets, stats.tx_bytes,
-                stats.drops, stats.max_queue, stats.busy_time)
+        return (self.up, self._busy, self.stats.snapshot_state())
 
     def restore_state(self, state):
-        stats = self.stats
-        (self.up, self._busy, stats.tx_packets, stats.tx_bytes,
-         stats.drops, stats.max_queue, stats.busy_time) = state
+        self.up, self._busy, stats_state = state
+        self.stats.restore_state(stats_state)
         self._queue.clear()
 
 
-def connect(sim, iface_a, iface_b, delay=0.001, rate_bps=None, queue_capacity=1000):
+def connect(sim, iface_a, iface_b, delay=0.001, rate_bps=None, queue_capacity=1000,
+            util_window=1.0):
     """Create a full-duplex connection (two simplex links) between interfaces.
 
     Returns the (a->b, b->a) link pair and attaches each link to the sending
     interface.
     """
     forward = Link(sim, iface_a, iface_b, delay=delay, rate_bps=rate_bps,
-                   queue_capacity=queue_capacity, name=f"{iface_a.name}->{iface_b.name}")
+                   queue_capacity=queue_capacity, util_window=util_window,
+                   name=f"{iface_a.name}->{iface_b.name}")
     backward = Link(sim, iface_b, iface_a, delay=delay, rate_bps=rate_bps,
-                    queue_capacity=queue_capacity, name=f"{iface_b.name}->{iface_a.name}")
+                    queue_capacity=queue_capacity, util_window=util_window,
+                    name=f"{iface_b.name}->{iface_a.name}")
     iface_a.attach_link(forward)
     iface_b.attach_link(backward)
     return forward, backward

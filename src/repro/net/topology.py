@@ -225,15 +225,18 @@ def rloc_for(provider_id, site_index, xtr_index):
 
 def build_topology(sim, num_sites=2, num_providers=4, providers_per_site=2,
                    hosts_per_site=2, wan_delay_range=(0.010, 0.040),
-                   access_delay_range=(0.001, 0.005), eids_globally_routable=False,
+                   access_delay_range=(0.001, 0.005), access_rate_bps=None,
+                   eids_globally_routable=False,
                    provider_assignment=None, rng_stream="topology"):
     """Build providers, sites, links and intra-site routing.
 
     ``provider_assignment``, when given, is a list of provider-id lists, one
-    per site, overriding the default rotation.  Global (provider-mesh)
-    routes are installed at the end; callers that attach additional
-    infrastructure hosts afterwards must re-run
-    :meth:`Topology.install_global_routes`.
+    per site, overriding the default rotation.  ``access_rate_bps`` gives
+    the site access links a finite transmission rate (None keeps them
+    infinite), which makes link busy time — and utilization — observable
+    for traffic-shaping experiments.  Global (provider-mesh) routes are
+    installed at the end; callers that attach additional infrastructure
+    hosts afterwards must re-run :meth:`Topology.install_global_routes`.
     """
     if providers_per_site > num_providers:
         raise ValueError("providers_per_site exceeds num_providers")
@@ -265,7 +268,8 @@ def build_topology(sim, num_sites=2, num_providers=4, providers_per_site=2,
     for s in range(num_sites):
         assigned = provider_assignment[s] if provider_assignment is not None else None
         site = _build_site(sim, topology, s, providers_per_site, hosts_per_site,
-                           access_delay_range, rng, assigned_providers=assigned)
+                           access_delay_range, rng, assigned_providers=assigned,
+                           access_rate_bps=access_rate_bps)
         topology.sites.append(site)
 
     topology.install_global_routes()
@@ -273,7 +277,8 @@ def build_topology(sim, num_sites=2, num_providers=4, providers_per_site=2,
 
 
 def _build_site(sim, topology, s, providers_per_site, hosts_per_site,
-                access_delay_range, rng, assigned_providers=None):
+                access_delay_range, rng, assigned_providers=None,
+                access_rate_bps=None):
     name = f"site{s}"
     eid_prefix = eid_prefix_for(s)
     infra_prefix = infra_prefix_for(s)
@@ -351,7 +356,8 @@ def _build_site(sim, topology, s, providers_per_site, hosts_per_site,
         access_delay = rng.uniform(*access_delay_range)
         xtr_up_iface = xtr.add_interface("up", address=rloc)
         provider_iface = provider.add_interface(f"to-{name}-xtr{b}")
-        downlink, uplink = connect(sim, provider_iface, xtr_up_iface, delay=access_delay)
+        downlink, uplink = connect(sim, provider_iface, xtr_up_iface, delay=access_delay,
+                                   rate_bps=access_rate_bps)
         site.access_links.append({"uplink": uplink, "downlink": downlink})
         site.hub_links.append({"hub_iface": hub_xtr_iface})
 

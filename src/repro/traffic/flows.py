@@ -9,9 +9,11 @@ connection-setup comparison (§1).
 
 from dataclasses import dataclass, field
 from itertools import count
+from typing import Optional
 
 from repro.net.addresses import IPv4Address
 from repro.net.packet import PROTO_TCP, TCP_ACK, TCP_SYN, tcp_packet, udp_packet
+from repro.traffic.popularity import FlowPlan
 
 #: Classic initial TCP retransmission timeout (RFC 1122 era: 1 second was
 #: common in 2008-vintage stacks; RFC 6298 later said 1 s as well).
@@ -22,20 +24,35 @@ _flow_ids = count(1)
 
 @dataclass
 class FlowRecord:
-    """Everything measured about one application flow."""
+    """Everything measured about one application flow.
+
+    ``source``/``destination``/``qname`` and the timing fields are
+    genuinely :data:`~typing.Optional`: a flow that fails (or is cut off
+    at the workload deadline) before DNS completes has ``destination`` and
+    ``dns_done_at`` still ``None`` with ``failed`` set — consumers must
+    treat these fields as nullable rather than assuming a completed
+    resolution.
+    """
 
     flow_id: int
-    source: IPv4Address = None
-    destination: IPv4Address = None
-    qname: str = None
+    source: Optional[IPv4Address] = None
+    destination: Optional[IPv4Address] = None
+    qname: Optional[str] = None
     started_at: float = 0.0
-    dns_done_at: float = None
-    dns_elapsed: float = None
-    established_at: float = None
-    setup_elapsed: float = None
+    dns_done_at: Optional[float] = None
+    dns_elapsed: Optional[float] = None
+    established_at: Optional[float] = None
+    setup_elapsed: Optional[float] = None
     syn_retransmissions: int = 0
     packets_sent: int = 0
     packets_delivered: int = 0
+    #: Application bytes this flow planned to send (packets x payload).
+    bytes_budget: int = 0
+    #: Application bytes actually handed to the host for sending.
+    bytes_sent: int = 0
+    #: Pacing classification ("constant" | "mouse" | "elephant"), None when
+    #: the flow never reached its data phase.
+    flow_kind: Optional[str] = None
     first_packet_fates: list = field(default_factory=list)
     failed: bool = False
 
@@ -146,28 +163,47 @@ class UdpSink:
         self.arrival_times = list(arrivals)
 
 
-def send_udp_burst(sim, host, destination, port, record, count_packets=5,
-                   payload_bytes=1000, spacing=0.001):
-    """Process: emit a spaced burst of UDP datagrams, annotating fates.
+def send_flow(sim, host, destination, port, record, plan):
+    """Process: emit one flow's datagrams on its :class:`FlowPlan` schedule.
 
-    The first packet's fate list ends up in ``record.first_packet_fates`` so
-    experiment E1 can classify it (dropped / queued / carried over CP /
+    The plan's byte budget and pacing kind are written onto *record*
+    (``bytes_budget``, ``flow_kind``) and every handed-off datagram
+    advances ``bytes_sent``, so flow-level byte accounting lines up with
+    the per-link accounting in :mod:`repro.net.link`.  A zero-spacing plan
+    (a shaped mouse) sends its whole burst back-to-back within one event;
+    positive spacing yields between packets exactly like the historical
+    constant-spacing sender.
+
+    The first packet's fate list ends up in ``record.first_packet_fates``
+    so experiment E1 can classify it (dropped / queued / carried over CP /
     encapsulated immediately).
     """
+    record.bytes_budget = plan.byte_budget
+    record.flow_kind = plan.kind
 
-    def _burst():
-        for index in range(count_packets):
+    def _send():
+        for index in range(plan.packets):
             meta = {"flow_id": record.flow_id, "index": index}
             packet = udp_packet(host.address, destination, 5000, port,
-                                payload_bytes=payload_bytes, meta=meta)
+                                payload_bytes=plan.payload_bytes, meta=meta)
             if index == 0:
                 packet.meta["fates"] = record.first_packet_fates
             record.packets_sent += 1
+            record.bytes_sent += plan.payload_bytes
             host.send(packet)
-            if index < count_packets - 1:
-                yield sim.timeout(spacing)
+            if index < plan.packets - 1 and plan.spacing > 0.0:
+                yield sim.timeout(plan.spacing)
 
-    return sim.process(_burst(), name=f"{host.name}-burst-{record.flow_id}")
+    return sim.process(_send(), name=f"{host.name}-burst-{record.flow_id}")
+
+
+def send_udp_burst(sim, host, destination, port, record, count_packets=5,
+                   payload_bytes=1000, spacing=0.001):
+    """Process: emit a constant-spacing burst (compat wrapper over
+    :func:`send_flow`)."""
+    plan = FlowPlan(packets=count_packets, payload_bytes=payload_bytes,
+                    spacing=spacing, kind="constant")
+    return send_flow(sim, host, destination, port, record, plan)
 
 
 def next_flow_id():

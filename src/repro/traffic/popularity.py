@@ -1,7 +1,8 @@
-"""Destination popularity and flow-size models."""
+"""Destination popularity, flow-size and flow-pacing models."""
 
 import bisect
 import math
+from dataclasses import dataclass
 
 
 class ZipfSampler:
@@ -125,3 +126,100 @@ class FlowSizeSampler:
 
     def sample_many(self, count, rng=None):
         return [self.sample(rng) for _ in range(count)]
+
+
+#: Supported pacing modes: ``constant`` keeps the historical fixed
+#: inter-packet spacing for every flow; ``shaped`` sends mice as
+#: back-to-back bursts and paces elephants at a target bit rate.
+PACING_MODES = ("constant", "shaped")
+
+
+@dataclass(frozen=True)
+class FlowPlan:
+    """One flow's byte budget and send schedule.
+
+    ``packets`` datagrams of ``payload_bytes`` each, ``spacing`` seconds
+    apart (0.0 means a single back-to-back burst).  ``kind`` records how
+    the plan was shaped: ``constant`` (fixed spacing), ``mouse`` (burst)
+    or ``elephant`` (paced at the shaper's target rate).
+    """
+
+    packets: int
+    payload_bytes: int
+    spacing: float
+    kind: str
+
+    @property
+    def byte_budget(self):
+        """Application bytes this flow intends to send."""
+        return self.packets * self.payload_bytes
+
+
+class FlowShaper:
+    """Turns sampled flow sizes into paced :class:`FlowPlan` objects.
+
+    The size axis (PR 2's :class:`FlowSizeSampler`) decides *how much* a
+    flow sends; this decides *when*.  ``constant`` pacing reproduces the
+    historical constant-spacing sender exactly — same RNG draws, same
+    spacing for every flow — so enabling the shaper with the default mode
+    is byte-identical to not having one.  ``shaped`` pacing makes the
+    heavy tail temporal: flows at or below ``elephant_threshold`` packets
+    are mice and burst back-to-back (``burst_spacing``, default 0.0 —
+    their bytes hit the first link in one instant), larger flows are
+    elephants and space packets so the flow's wire bytes leave at
+    ``pace_rate_bps`` (inter-packet gap = wire bytes per packet * 8 /
+    rate).
+
+    ``overhead_bytes`` is the per-packet header tax added to
+    ``payload_bytes`` when converting the target bit rate into a gap (28
+    for IPv4+UDP).  ``elephant_threshold`` defaults to twice the sampler's
+    mean, so constant-size workloads never contain elephants and the
+    threshold scales with the size axis.
+    """
+
+    def __init__(self, sizes, payload_bytes, pacing="constant", spacing=0.001,
+                 pace_rate_bps=2_000_000.0, elephant_threshold=None,
+                 burst_spacing=0.0, overhead_bytes=28):
+        if pacing not in PACING_MODES:
+            raise ValueError(f"unknown pacing mode {pacing!r}")
+        if payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
+        if pace_rate_bps <= 0:
+            raise ValueError("pace_rate_bps must be positive")
+        if burst_spacing < 0 or spacing < 0:
+            raise ValueError("packet spacings must be >= 0")
+        self.sizes = sizes
+        self.payload_bytes = int(payload_bytes)
+        self.pacing = pacing
+        self.spacing = float(spacing)
+        self.pace_rate_bps = float(pace_rate_bps)
+        if elephant_threshold is None:
+            elephant_threshold = 2.0 * sizes.mean
+        if elephant_threshold < 1:
+            raise ValueError("elephant_threshold must be >= 1 packet")
+        self.elephant_threshold = elephant_threshold
+        self.burst_spacing = float(burst_spacing)
+        self.overhead_bytes = int(overhead_bytes)
+
+    @property
+    def pace_spacing(self):
+        """The elephant inter-packet gap (seconds) at the target rate."""
+        wire_bytes = self.payload_bytes + self.overhead_bytes
+        return wire_bytes * 8.0 / self.pace_rate_bps
+
+    def plan(self, rng=None):
+        """Draw one flow: a size from the sampler, shaped into a plan.
+
+        Consumes exactly the RNG draws the size sampler does (none in
+        ``constant`` size mode), so swapping pacing modes never shifts the
+        random stream other flows see.
+        """
+        packets = self.sizes.sample(rng)
+        if self.pacing == "constant":
+            return FlowPlan(packets=packets, payload_bytes=self.payload_bytes,
+                            spacing=self.spacing, kind="constant")
+        if packets > self.elephant_threshold:
+            return FlowPlan(packets=packets, payload_bytes=self.payload_bytes,
+                            spacing=self.pace_spacing, kind="elephant")
+        return FlowPlan(packets=packets, payload_bytes=self.payload_bytes,
+                        spacing=self.burst_spacing, kind="mouse")

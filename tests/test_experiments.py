@@ -119,6 +119,57 @@ def test_classify_first_packet_categories():
     assert classify_first_packet(record) == "not-sent"
 
 
+def test_flow_cut_off_before_dns_completes_is_failed():
+    """Regression: FlowRecord's Optional fields stay None on early failure.
+
+    With no grace period the last flows are cut off mid-DNS: their
+    ``destination``/``dns_done_at`` must remain None *and* ``failed`` must
+    be set, so every consumer (first-packet classification, sweep metric
+    sums, the E2 overlap measurement) can rely on the flag instead of
+    tripping over a None timestamp.
+    """
+    from repro.experiments.e2_overlap import _mapping_ready_time
+
+    config = ScenarioConfig(control_plane="pce", num_sites=3, seed=41)
+    scenario = build_scenario(config)
+    records = run_workload(scenario, WorkloadConfig(num_flows=10,
+                                                    arrival_rate=50.0,
+                                                    grace_period=0.0))
+    cut_off = [r for r in records if r.dns_done_at is None]
+    assert cut_off, "expected at least one flow cut off mid-DNS"
+    for record in cut_off:
+        assert record.failed
+        assert record.destination is None and record.dns_elapsed is None
+        assert record.bytes_budget == 0 and record.flow_kind is None
+        # Every downstream consumer of the Optional fields stays happy.
+        assert classify_first_packet(record) == "not-sent"
+        assert _mapping_ready_time(scenario, record) is None
+    # The sweep's per-cell sums never touch the None fields either.
+    assert sum(r.bytes_sent for r in records) >= 0
+    assert sum(1 for r in records if r.failed) >= len(cut_off)
+
+
+def test_e4_reports_link_utilization_from_byte_accounting():
+    from repro.experiments import e4_te_flexibility as e4
+
+    rows = e4.run_e4(num_sites=4, num_flows=16, seed=53,
+                     variants=(("pce+balance",
+                                dict(control_plane="pce",
+                                     irc_policy="balance")),))
+    (row,) = rows
+    assert row.inbound_peak_util > 0.0
+    assert sum(row.inbound_shares) == pytest.approx(1.0)
+    # Unrated links can't accumulate busy time: utilization collapses to 0
+    # while the byte shares (from per-flow accounting) survive.
+    (unrated,) = e4.run_e4(num_sites=4, num_flows=16, seed=53,
+                           access_rate_bps=None,
+                           variants=(("pce+balance",
+                                      dict(control_plane="pce",
+                                           irc_policy="balance")),))
+    assert unrated.inbound_peak_util == 0.0
+    assert sum(unrated.inbound_shares) == pytest.approx(1.0)
+
+
 def test_access_byte_shares_sum_to_one_under_traffic():
     config = ScenarioConfig(control_plane="pce", num_sites=3, seed=5)
     scenario = build_scenario(config)

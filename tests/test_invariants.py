@@ -1,13 +1,17 @@
 """Cross-cutting invariants over randomised scenarios.
 
 These properties must hold for *any* seed and any control plane:
-conservation of packets, cache-counter consistency, trace determinism, and
-the PCE's zero-loss guarantee.
+conservation of packets *and bytes*, cache-counter consistency, trace
+determinism, and the PCE's zero-loss guarantee.
 """
+
+from dataclasses import replace
 
 import pytest
 
 from repro.experiments import ScenarioConfig, WorkloadConfig, build_scenario, run_workload
+from repro.experiments.sweep import PRESETS, _apply_failures, expand_grid
+from repro.experiments.worldbuild import build_world
 
 
 def run_world(control_plane, seed, num_sites=4, num_flows=12, miss_policy="queue"):
@@ -96,6 +100,79 @@ def test_large_scale_smoke():
     cp = scenario.control_plane
     assert cp.total_push_messages() >= len(
         {r.source for r in ok})  # at least one push per active source host
+
+
+# --------------------------------------------------------------------- #
+# Byte conservation: offered == delivered + dropped, per link, per flow
+# --------------------------------------------------------------------- #
+
+#: Tier-1-sized stand-ins for every preset: same axes and knobs, shrunk
+#: site counts / seeds / flow counts so the invariant pass stays fast.
+_PRESET_SHRINK = {
+    "smoke": dict(seeds=(1,)),
+    "baselines": dict(site_counts=(4,), seeds=(11,), zipf_values=(1.2,),
+                      num_flows=16),
+    "scale": dict(site_counts=(4,), seeds=(11,), num_flows=16,
+                  num_providers=4),
+    "failover": dict(seeds=(21,), num_flows=16),
+    "shaped": dict(site_counts=(4,), seeds=(31,), num_flows=16),
+}
+
+
+def test_every_preset_has_an_invariant_stand_in():
+    assert sorted(_PRESET_SHRINK) == sorted(PRESETS)
+
+
+def _preset_cells(name):
+    grid = replace(PRESETS[name], **_PRESET_SHRINK[name])
+    return expand_grid(grid)
+
+
+def _assert_bytes_conserved(scenario, drained):
+    accounting = scenario.byte_accounting(drained=drained)
+    assert accounting["violations"] == []
+    assert accounting["bytes_offered"] == accounting["bytes_delivered"] \
+        + accounting["bytes_dropped"] + accounting["bytes_in_flight"]
+    if drained:
+        assert accounting["bytes_in_flight"] == 0
+
+
+@pytest.mark.parametrize("preset", sorted(_PRESET_SHRINK))
+def test_byte_conservation_across_presets(preset):
+    """For every link and every flow, offered == delivered + dropped.
+
+    Checked right at the workload deadline (bytes still in flight are
+    legal, a negative residue anywhere is not) and again after a full
+    foreground drain (nothing may remain in flight) — across the scale,
+    failover and shaped preset families, so constant spacing, TCP data
+    bursts, mid-run link failures, heavy tails and shaped pacing all pass
+    through the same conservation gate.
+    """
+    for cell in _preset_cells(preset):
+        scenario = build_world(cell.scenario)
+        _apply_failures(scenario, cell.failure)
+        records = run_workload(scenario, cell.workload)
+        _assert_bytes_conserved(scenario, drained=False)
+        scenario.sim.run()  # drain in-flight deliveries and DNS retries
+        _assert_bytes_conserved(scenario, drained=True)
+        # Flow-level budgets: a completed flow sent exactly its budget,
+        # a cut-off flow never more.
+        for record in records:
+            assert record.bytes_sent <= record.bytes_budget
+            if not record.failed and record.flow_kind is not None:
+                assert record.bytes_sent == record.bytes_budget
+
+
+def test_byte_accounting_attributes_all_data_bytes_to_flows():
+    """Per-flow accounts on first-hop links cover every data byte sent."""
+    scenario, records = run_world("pce", seed=19)
+    per_flow = {}
+    for link in scenario.iter_links():
+        for flow_id, account in link.stats.flows.items():
+            per_flow[flow_id] = per_flow.get(flow_id, 0) + account.offered
+    for record in records:
+        if record.packets_sent:
+            assert per_flow.get(record.flow_id, 0) > 0
 
 
 def test_reverse_mappings_consistent_across_etrs():

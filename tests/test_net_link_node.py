@@ -93,6 +93,140 @@ def test_link_stats_accumulate():
     assert link.stats.tx_bytes == 4 * 128
 
 
+def _flow_packet(a, b, flow_id, payload=72):
+    return udp_packet(a.address, b.address, 5000, 7, payload_bytes=payload,
+                      meta={"flow_id": flow_id})
+
+
+def test_per_flow_byte_accounting_conserves():
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.0, rate_bps=8_000, queue_capacity=1)
+    b.bind_udp(7, lambda packet, node: None)
+    for _ in range(5):
+        a.send(_flow_packet(a, b, flow_id=1))
+    a.send(_flow_packet(a, b, flow_id=2))
+    sim.run()
+    stats = a.interfaces["eth0"].link.stats
+    # Flow 1: one in serialisation + one queued accepted; three tail-dropped.
+    account = stats.flows[1]
+    assert account.offered == 5 * 100
+    assert account.delivered == 2 * 100
+    assert account.dropped == 3 * 100
+    assert account.in_flight == 0
+    # Flow 2 arrived after the queue freed nothing: tail-dropped whole.
+    assert stats.flows[2].dropped == 100
+    # Totals line up with the per-flow accounts (all packets carried ids).
+    assert stats.bytes_offered == 6 * 100
+    assert stats.bytes_offered == stats.bytes_delivered + stats.bytes_dropped
+    assert stats.bytes_in_flight == 0
+    assert stats.conservation_violations(drained=True) == []
+
+
+def test_bytes_in_flight_while_transmitting():
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.0, rate_bps=8_000)
+    b.bind_udp(7, lambda packet, node: None)
+    a.send(_flow_packet(a, b, flow_id=9))
+    link = a.interfaces["eth0"].link
+    sim.run(until=0.05)  # mid-serialisation (100 bytes take 100 ms)
+    assert link.stats.bytes_in_flight == 100
+    assert link.stats.flows[9].in_flight == 100
+    assert link.stats.conservation_violations() == []          # legal in flight
+    assert link.stats.conservation_violations(drained=True) != []  # not drained
+    sim.run()
+    assert link.stats.bytes_in_flight == 0
+
+
+def test_down_link_drop_mid_flight_accounted():
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.05)
+    b.bind_udp(7, lambda packet, node: None)
+    a.send(_flow_packet(a, b, flow_id=3))
+    link = a.interfaces["eth0"].link
+    sim.run(until=0.01)      # packet is propagating
+    link.up = False          # fails before delivery
+    sim.run()
+    assert link.stats.flows[3].dropped == 100
+    assert link.stats.bytes_in_flight == 0
+    assert link.stats.conservation_violations(drained=True) == []
+
+
+def test_encapsulated_packets_account_to_inner_flow():
+    from repro.net.packet import Packet, IPv4Header, PROTO_IPIP
+
+    sim = Simulator()
+    a, b = two_hosts(sim)
+    inner = _flow_packet(a, b, flow_id=77)
+    outer = Packet(headers=[IPv4Header(src=a.address, dst=b.address,
+                                       proto=PROTO_IPIP)], payload=inner)
+    a.send(outer)
+    sim.run()
+    stats = a.interfaces["eth0"].link.stats
+    assert 77 in stats.flows
+    assert stats.flows[77].offered == outer.size_bytes
+
+
+def test_utilization_windows_split_busy_time():
+    sim = Simulator()
+    # 8000 bit/s -> a 100-byte packet serialises in 0.1 s.
+    a, b = two_hosts(sim, delay=0.0, rate_bps=8_000)
+    b.bind_udp(7, lambda packet, node: None)
+    link = a.interfaces["eth0"].link
+    assert link.stats.window_width == 1.0
+    # One packet in window 0, then two back-to-back starting at t=1.95:
+    # the second transmission spans the window-1/window-2 boundary.
+    a.send(_flow_packet(a, b, flow_id=1))
+    sim.call_in(1.95, lambda: (a.send(_flow_packet(a, b, flow_id=1)),
+                               a.send(_flow_packet(a, b, flow_id=1))))
+    sim.run()
+    series = dict((start, (busy, volume)) for start, busy, volume
+                  in link.stats.utilization_series())
+    assert series[0.0] == (pytest.approx(0.1), 100)
+    # First back-to-back packet: bytes land at its 1.95 start, busy splits
+    # 0.05 s before the boundary, 0.05 s after; the queued packet starts
+    # (and lands its bytes) at 2.05, keeping window 2 busy until 2.15.
+    assert series[1.0] == (pytest.approx(0.05), 100)
+    assert series[2.0][0] == pytest.approx(0.15)
+    assert series[2.0][1] == 100
+    assert link.stats.peak_utilization() == pytest.approx(0.15)
+    assert link.stats.busy_time == pytest.approx(0.3)
+
+
+def test_link_stats_snapshot_round_trip():
+    """Every stats field — busy time, windows, per-flow accounts — restores."""
+    sim = Simulator()
+    a, b = two_hosts(sim, delay=0.0, rate_bps=8_000, queue_capacity=1)
+    b.bind_udp(7, lambda packet, node: None)
+    link = a.interfaces["eth0"].link
+    for _ in range(4):                       # includes a tail drop
+        a.send(_flow_packet(a, b, flow_id=5))
+    sim.run()
+    checkpoint = link.snapshot_state()
+    frozen = link.stats.snapshot_state()
+
+    for _ in range(3):                       # dirty everything again
+        a.send(_flow_packet(a, b, flow_id=6))
+    link.up = False
+    a.send(_flow_packet(a, b, flow_id=6))
+    sim.run()
+    assert link.stats.snapshot_state() != frozen
+
+    link.restore_state(checkpoint)
+    assert link.stats.snapshot_state() == frozen
+    assert link.up is True
+    stats = link.stats
+    assert 6 not in stats.flows
+    # One transmitted + one queued delivered; two tail-dropped.
+    assert stats.flows[5].as_tuple() == (400, 200, 200)
+    assert stats.busy_time == pytest.approx(0.2)
+    assert stats.windows and stats.conservation_violations(drained=True) == []
+    # The restored copies are independent: mutating live state must not
+    # reach back into the frozen checkpoint.
+    stats.flows[5].delivered += 1
+    stats.windows[0][1] += 1
+    assert link.snapshot_state() != checkpoint
+
+
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(ValueError):

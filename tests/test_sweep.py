@@ -65,7 +65,7 @@ def test_sweep_artifacts(tmp_path):
     payload = run_sweep(TINY, workers=1, json_path=str(json_path),
                         csv_path=str(csv_path))
     on_disk = json.loads(json_path.read_text())
-    assert on_disk["schema"] == "repro.sweep/v3"
+    assert on_disk["schema"] == "repro.sweep/v4"
     assert on_disk["num_cells"] == len(payload["cells"]) == 4
     assert payload_digest(on_disk) == payload_digest(payload)
     with open(csv_path) as handle:
@@ -237,6 +237,65 @@ def test_cli_sweep_snapshot_dir(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "0 built" in out
     assert "2 blob hits" in out
+
+
+def test_pacing_axis_expands_and_validates():
+    grid = SweepGrid(control_planes=("alt",), site_counts=(3,), seeds=(1,),
+                     pacings=("constant", "shaped"))
+    cells = expand_grid(grid)
+    assert len(cells) == 2
+    assert cells[0].workload.pacing == "constant"
+    assert cells[1].workload.pacing == "shaped"
+    assert "shaped" in cells[1].cell_id and "shaped" not in cells[0].cell_id
+    # Pacing pairs share worlds: the scenario config ignores the pacing.
+    assert cells[0].scenario == cells[1].scenario
+    with pytest.raises(ValueError):
+        expand_grid(SweepGrid(pacings=("bogus",)))
+
+
+def test_pacing_axis_digest_invariant_across_workers():
+    """--workers 1 vs 4 over the pacing axis: byte-identical digests."""
+    grid = SweepGrid(name="paced", control_planes=("pce",), site_counts=(3,),
+                     seeds=(1, 2), size_dists=("pareto",),
+                     pacings=("constant", "shaped"), num_flows=10,
+                     arrival_rate=10.0, packets_per_flow=4,
+                     scenario_overrides={"access_rate_bps": 5_000_000.0})
+    serial = run_sweep(grid, workers=1)
+    fanned = run_sweep(grid, workers=4)
+    assert payload_digest(serial) == payload_digest(fanned)
+    pacings = {cell["pacing"] for cell in serial["cells"]}
+    assert pacings == {"constant", "shaped"}
+    # Shaping moves bytes in time, not in volume: with no drops the two
+    # pacing modes of the same seed offer the same flow byte budgets.
+    for aggregate in serial["aggregates"]:
+        assert aggregate["bytes_conserved"] is True
+
+
+def test_shaped_preset_shapes_traffic():
+    grid = PRESETS["shaped"]
+    cells = expand_grid(grid)
+    assert {cell.workload.pacing for cell in cells} == {"constant", "shaped"}
+    assert all(cell.scenario.access_rate_bps == 10_000_000.0 for cell in cells)
+    # Constant/shaped pairs share worlds, halving the distinct world count.
+    from repro.experiments.sweep import distinct_world_configs
+    assert len(distinct_world_configs(cells)) == len(cells) // 2
+
+
+def test_cell_metrics_carry_byte_accounting():
+    cell = expand_grid(SweepGrid(
+        control_planes=("pce",), site_counts=(3,), seeds=(4,),
+        pacings=("shaped",), size_dists=("pareto",), num_flows=10,
+        arrival_rate=10.0, packets_per_flow=4,
+        scenario_overrides={"access_rate_bps": 5_000_000.0}))[0]
+    result = run_cell(cell)
+    metrics = result["metrics"]
+    assert metrics["bytes_offered"] > 0
+    assert metrics["bytes_offered"] == metrics["bytes_delivered"] \
+        + metrics["bytes_dropped"] + metrics["bytes_in_flight"]
+    assert metrics["bytes_conserved"] is True
+    assert metrics["flow_bytes_sent"] <= metrics["flow_bytes_budget"]
+    assert metrics["access_util_peak"] > 0.0
+    assert result["pacing"] == "shaped"
 
 
 def test_grid_overrides_may_shadow_axis_fields():

@@ -12,8 +12,10 @@ from repro.net.host import Host
 from repro.net.link import connect
 from repro.net.packet import udp_packet
 from repro.sim import Simulator
-from repro.traffic.flows import DEFAULT_RTO, FlowRecord, TcpStack, UdpSink, send_udp_burst
-from repro.traffic.popularity import ZipfSampler
+from repro.traffic.flows import (DEFAULT_RTO, FlowRecord, TcpStack, UdpSink,
+                                 send_flow, send_udp_burst)
+from repro.traffic.popularity import (FlowPlan, FlowShaper, FlowSizeSampler,
+                                      ZipfSampler)
 
 
 def test_zipf_probabilities_sum_to_one():
@@ -149,3 +151,72 @@ def test_flow_record_packets_lost():
     record.packets_sent = 5
     record.packets_delivered = 3
     assert record.packets_lost == 2
+
+
+def test_flow_shaper_constant_mode_matches_legacy_sender():
+    sizes = FlowSizeSampler(dist="constant", mean=5)
+    shaper = FlowShaper(sizes, payload_bytes=1000, pacing="constant",
+                        spacing=0.002)
+    plan = shaper.plan()
+    assert plan == FlowPlan(packets=5, payload_bytes=1000, spacing=0.002,
+                            kind="constant")
+    assert plan.byte_budget == 5000
+
+
+def test_flow_shaper_classifies_mice_and_elephants():
+    sizes = FlowSizeSampler(dist="pareto", mean=5, rng=random.Random(7))
+    shaper = FlowShaper(sizes, payload_bytes=1000, pacing="shaped",
+                        pace_rate_bps=2_000_000.0)
+    assert shaper.elephant_threshold == 10.0  # 2x the mean by default
+    kinds = {}
+    for _ in range(300):
+        plan = shaper.plan()
+        kinds.setdefault(plan.kind, []).append(plan)
+    assert set(kinds) == {"mouse", "elephant"}
+    assert all(plan.packets > 10 for plan in kinds["elephant"])
+    assert all(plan.packets <= 10 for plan in kinds["mouse"])
+    assert all(plan.spacing == 0.0 for plan in kinds["mouse"])
+    # Elephant gap: (1000 + 28 header bytes) * 8 bits / 2 Mbit/s.
+    expected_gap = 1028 * 8 / 2_000_000.0
+    assert all(plan.spacing == pytest.approx(expected_gap)
+               for plan in kinds["elephant"])
+
+
+def test_flow_shaper_validation():
+    sizes = FlowSizeSampler(dist="constant", mean=5)
+    with pytest.raises(ValueError):
+        FlowShaper(sizes, payload_bytes=1000, pacing="bogus")
+    with pytest.raises(ValueError):
+        FlowShaper(sizes, payload_bytes=0)
+    with pytest.raises(ValueError):
+        FlowShaper(sizes, payload_bytes=1000, pace_rate_bps=0)
+    with pytest.raises(ValueError):
+        FlowShaper(sizes, payload_bytes=1000, elephant_threshold=0)
+
+
+def test_send_flow_mouse_bursts_back_to_back():
+    sim = Simulator()
+    a, b = linked_hosts(sim, delay=0.0)
+    sink = UdpSink(sim, b, 9000)
+    record = FlowRecord(flow_id=50, source=a.address)
+    plan = FlowPlan(packets=4, payload_bytes=500, spacing=0.0, kind="mouse")
+    send_flow(sim, a, b.address, 9000, record, plan)
+    sim.run()
+    assert record.packets_sent == 4
+    assert record.bytes_sent == record.bytes_budget == 2000
+    assert record.flow_kind == "mouse"
+    assert sink.arrival_times == [0.0] * 4  # one instant, no pacing gaps
+
+
+def test_send_flow_elephant_paces_at_plan_spacing():
+    sim = Simulator()
+    a, b = linked_hosts(sim, delay=0.0)
+    sink = UdpSink(sim, b, 9000)
+    record = FlowRecord(flow_id=51, source=a.address)
+    plan = FlowPlan(packets=3, payload_bytes=500, spacing=0.02, kind="elephant")
+    send_flow(sim, a, b.address, 9000, record, plan)
+    sim.run()
+    gaps = [t2 - t1 for t1, t2 in zip(sink.arrival_times,
+                                      sink.arrival_times[1:])]
+    assert gaps == [pytest.approx(0.02)] * 2
+    assert record.flow_kind == "elephant"

@@ -218,6 +218,51 @@ def test_prober_and_irc_state_round_trip_through_restore():
     assert (prober_states(), irc_states(), task_states()) == baseline
 
 
+def _shaped_cell():
+    """A shaped-preset-style cell: rated access links, heavy tails, pacing."""
+    grid = SweepGrid(control_planes=("pce",), site_counts=(4,), seeds=(31,),
+                     size_dists=("pareto",), pacings=("shaped",),
+                     num_flows=12, arrival_rate=10.0, packets_per_flow=5,
+                     scenario_overrides={"access_rate_bps": 10_000_000.0},
+                     workload_overrides={"pace_rate_bps": 2_000_000.0,
+                                         "payload_bytes": 1200})
+    return expand_grid(grid)[0]
+
+
+def test_shaped_cell_fresh_vs_restored_byte_identical():
+    """A shaped cell on a reused world == the same cell run fresh.
+
+    The satellite contract for the traffic-shaping state: per-flow link
+    byte accounts, utilization windows and busy time must all snapshot and
+    restore exactly, or the reused world's byte metrics drift.
+    """
+    cell = _shaped_cell()
+    fresh = run_cell(cell)
+    builder = WorldBuilder()
+    first = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "miss"
+    reused = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "hit"
+    assert fresh["metrics"]["bytes_conserved"] is True
+    assert fresh["metrics"]["access_util_peak"] > 0.0
+    assert json.dumps(fresh, sort_keys=True) == json.dumps(first, sort_keys=True)
+    assert json.dumps(fresh, sort_keys=True) == json.dumps(reused, sort_keys=True)
+
+
+def test_shaped_world_restore_resets_byte_accounting():
+    """Link flow accounts and windows reset to the (empty) checkpoint."""
+    cell = _shaped_cell()
+    scenario = build_world(cell.scenario)
+    run_workload(scenario, cell.workload)
+    dirtied = [link for link in scenario.iter_links() if link.stats.flows]
+    assert dirtied, "workload left no per-flow accounting to reset"
+    restore_world(scenario)
+    for link in scenario.iter_links():
+        stats = link.stats
+        assert stats.flows == {} and stats.windows == {}
+        assert stats.bytes_offered == 0 and stats.busy_time == 0.0
+
+
 def test_world_key_distinguishes_configs():
     base = ScenarioConfig(control_plane="pce", num_sites=4, seed=1)
     assert world_key(base) == world_key(ScenarioConfig(

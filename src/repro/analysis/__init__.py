@@ -1,0 +1,17 @@
+"""AST-based invariant checkers for the determinism & snapshot contracts.
+
+Run as ``repro analyze [paths...]`` (or ``python -m repro analyze``); see
+:mod:`repro.analysis.core` for the framework and docs/contracts.md for the
+contracts themselves.
+"""
+
+from repro.analysis.core import (
+    REGISTRY,
+    Finding,
+    analyze_paths,
+    load_default_rules,
+    register,
+)
+
+__all__ = ["REGISTRY", "Finding", "analyze_paths", "load_default_rules",
+           "register"]

@@ -1,0 +1,149 @@
+"""Shared AST spelunking helpers for the contract checkers."""
+
+import ast
+
+
+def class_methods(class_def):
+    """name -> FunctionDef for the *direct* methods of *class_def*."""
+    return {node.name: node for node in class_def.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def iter_class_defs(tree):
+    """Every ClassDef in *tree*, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def self_attr_stores(func_def):
+    """attr name -> first assignment line for ``self.attr = ...`` targets."""
+    stores = {}
+
+    def record(target):
+        if isinstance(target, ast.Attribute) and is_self(target.value):
+            stores.setdefault(target.attr, target.lineno)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                record(element)
+        elif isinstance(target, ast.Starred):
+            record(target.value)
+
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                record(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            record(node.target)
+    return stores
+
+
+def is_self(node):
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def self_attr_names(*func_defs):
+    """Every attribute name touched as ``self.<attr>`` in the given bodies."""
+    names = set()
+    for func_def in func_defs:
+        if func_def is None:
+            continue
+        for node in ast.walk(func_def):
+            if isinstance(node, ast.Attribute) and is_self(node.value):
+                names.add(node.attr)
+    return names
+
+
+def string_constants(*func_defs):
+    """Every string literal appearing in the given bodies (docstrings too)."""
+    values = set()
+    for func_def in func_defs:
+        if func_def is None:
+            continue
+        for node in ast.walk(func_def):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                values.add(node.value)
+    return values
+
+
+def class_string_tuples(class_def):
+    """name -> tuple of strings, for class-level str-sequence constants.
+
+    Covers the ``_state_attrs = ("a", "b")`` idiom (plain or annotated
+    assignment of a tuple/list/set of string literals).
+    """
+    constants = {}
+    for node in class_def.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        strings = constant_string_seq(value)
+        if strings is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                constants[target.id] = strings
+    return constants
+
+
+def constant_string_seq(node):
+    """The tuple of strings *node* spells, or None if it is anything else."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        strings = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            strings.append(element.value)
+        return tuple(strings)
+    return None
+
+
+def referenced_names(*func_defs):
+    """Every bare Name referenced in the given bodies."""
+    names = set()
+    for func_def in func_defs:
+        if func_def is None:
+            continue
+        for node in ast.walk(func_def):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def call_name(node):
+    """The trailing name of a call target: ``f(...)`` -> f, ``a.b.f(...)`` -> f."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_root(node):
+    """The root Name of an attribute chain (``a.b.c`` -> ``a``), or None."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_truthy_constant(node):
+    return isinstance(node, ast.Constant) and bool(node.value)
+
+
+def contains_yield(node):
+    """True when *node*'s body yields without descending into nested defs."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if contains_yield(child):
+            return True
+    return False

@@ -1,0 +1,44 @@
+"""PER01: perpetual yield-wait loops must be PeriodicTask instead.
+
+A ``while True: work(); yield sim.timeout(period)`` generator keeps the
+event queue non-empty forever, so a world running one can never settle and
+be checkpointed, and the loop's position lives in an opaque generator
+frame that no snapshot can capture.  PR 3 replaced every such loop with an
+engine-owned :class:`~repro.sim.periodic.PeriodicTask`, whose timer state
+is plain data: registered tasks, next-fire times and tick counters ride
+the engine checkpoint and re-arm identically on restore.
+
+The rule flags any ``while`` loop with a constant-true test whose body
+yields (directly, not in a nested function).  Bounded loops
+(``for _ in range(n)``) and non-yielding ``while True`` parsers are fine.
+"""
+
+import ast
+
+from repro.analysis import astutil
+from repro.analysis.core import register
+
+
+@register
+class Per01:
+    rule_id = "PER01"
+    description = ("perpetual while-True yield loops in sim processes must "
+                   "use Simulator.periodic (PeriodicTask)")
+    hint = ("replace the loop with sim.periodic(callback, period).start(): "
+            "periodic-task timers are engine state, checkpointable and "
+            "settle-able; generator loops are neither")
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not astutil.is_truthy_constant(node.test):
+                continue
+            if any(astutil.contains_yield(stmt) or
+                   isinstance(stmt, (ast.Yield, ast.YieldFrom))
+                   for stmt in node.body):
+                yield module.finding(
+                    self, node,
+                    "while True loop yields: a perpetual generator keeps "
+                    "the world un-settleable and its position cannot be "
+                    "checkpointed")

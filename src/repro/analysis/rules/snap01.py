@@ -1,0 +1,91 @@
+"""SNAP01: ``__init__`` attributes must be captured by the checkpoint.
+
+World reuse restores components in place: the worldbuild layer snapshots
+every stateful component right after the build and restores those
+snapshots before each reuse.  An attribute assigned in ``__init__`` but
+invisible to ``snapshot_state``/``restore_state`` carries one run's state
+into the next — the exact bug class that corrupts world-cache digests
+without any test noticing.
+
+An attribute counts as *captured* when either checkpoint method mentions
+it: a ``self.<attr>`` access (tuple snapshots, in-place restores such as
+``self._queue.clear()``), the attribute's name as a string literal (dict
+snapshots, ``state["attr"]`` reads), or membership in a class-level tuple
+of strings referenced by a checkpoint method (the ``snapshot_attrs(self,
+self._state_attrs)`` idiom).  Genuinely immutable construction-time
+attributes — the owning sim, wiring, config knobs — are declared once in
+a ``_SNAPSHOT_EXEMPT`` class attribute instead.
+"""
+
+from repro.analysis import astutil
+from repro.analysis.core import register
+
+#: Class attribute naming the deliberate exemptions.
+EXEMPT_ATTR = "_SNAPSHOT_EXEMPT"
+
+
+@register
+class Snap01:
+    rule_id = "SNAP01"
+    description = ("classes defining snapshot_state must capture every "
+                   "__init__ attribute or list it in _SNAPSHOT_EXEMPT")
+    hint = ("capture the attribute in snapshot_state/restore_state, or add "
+            "it to the class's _SNAPSHOT_EXEMPT tuple if it is immutable "
+            "after construction")
+
+    def check(self, module):
+        classes = {cls.name: cls for cls in astutil.iter_class_defs(module.tree)}
+        for class_def in classes.values():
+            methods = astutil.class_methods(class_def)
+            snapshot = methods.get("snapshot_state")
+            init = methods.get("__init__")
+            if snapshot is None or init is None:
+                continue
+            restore = methods.get("restore_state")
+            assigned = astutil.self_attr_stores(init)
+            captured = astutil.self_attr_names(snapshot, restore)
+            captured |= astutil.string_constants(snapshot, restore)
+            captured |= self._expanded_tuples(class_def, classes, snapshot,
+                                              restore)
+            exempt = self._exemptions(class_def, classes)
+            for attr, line in sorted(assigned.items(), key=lambda kv: kv[1]):
+                if attr in captured or attr in exempt:
+                    continue
+                yield module.finding(
+                    self, line,
+                    f"{class_def.name}.__init__ assigns self.{attr} but "
+                    f"snapshot_state/restore_state never captures it")
+
+    def _expanded_tuples(self, class_def, classes, snapshot, restore):
+        """Strings from class-level tuples a checkpoint method references."""
+        constants = {}
+        for base in self._mro_in_module(class_def, classes):
+            for name, strings in astutil.class_string_tuples(base).items():
+                constants.setdefault(name, strings)
+        referenced = (astutil.self_attr_names(snapshot, restore)
+                      | astutil.referenced_names(snapshot, restore))
+        expanded = set()
+        for name in referenced:
+            expanded.update(constants.get(name, ()))
+        return expanded
+
+    def _exemptions(self, class_def, classes):
+        exempt = set()
+        for base in self._mro_in_module(class_def, classes):
+            for name, strings in astutil.class_string_tuples(base).items():
+                if name == EXEMPT_ATTR:
+                    exempt.update(strings)
+        return exempt
+
+    def _mro_in_module(self, class_def, classes, _seen=None):
+        """*class_def* plus any base classes defined in the same module."""
+        seen = _seen if _seen is not None else set()
+        if class_def.name in seen:
+            return []
+        seen.add(class_def.name)
+        order = [class_def]
+        for base in class_def.bases:
+            base_def = classes.get(getattr(base, "id", None))
+            if base_def is not None:
+                order.extend(self._mro_in_module(base_def, classes, seen))
+        return order

@@ -1,0 +1,110 @@
+"""SNAP02: dict-shaped checkpoints must read the keys they write.
+
+A ``snapshot_state`` that returns a dict and a ``restore_state`` that
+consumes one must agree on the key set: a key written but never read is
+state that silently fails to restore; a key read but never written is a
+``KeyError`` waiting for the first world reuse (or a ``.get`` default
+quietly masking it).
+
+Keys *written* are string keys of dict literals / ``dict(key=...)``
+keywords / ``state["key"] = ...`` subscript stores inside
+``snapshot_state``.  Keys *read* are ``state["key"]`` subscript loads and
+``.get("key")`` / ``.pop("key")`` calls inside ``restore_state``.  Either
+side may also handle keys generically — ``snapshot_attrs`` /
+``restore_attrs``, ``**`` spreads, ``.update(...)`` calls or iteration
+over ``.items()``/``.keys()``/``.values()`` — in which case only the
+opposite direction is checked.  Tuple-shaped checkpoints (no string keys
+on either side) are out of scope.
+"""
+
+import ast
+
+from repro.analysis import astutil
+from repro.analysis.core import register
+
+#: Calls that mean "this method handles arbitrary keys" on the write side.
+_WILDCARD_WRITERS = {"snapshot_attrs", "update"}
+#: ... and on the read side.
+_WILDCARD_READERS = {"restore_attrs", "update", "items", "keys", "values"}
+
+
+def _written_keys(func_def):
+    """(keys -> line) written by *func_def*, plus a wildcard flag."""
+    keys, wildcard = {}, False
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is None:  # ``{**other}`` spread
+                    wildcard = True
+                elif isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.setdefault(key.value, key.lineno)
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                keys.setdefault(index.value, node.lineno)
+        elif isinstance(node, ast.Call):
+            name = astutil.call_name(node)
+            if name in _WILDCARD_WRITERS:
+                wildcard = True
+            elif name == "dict":
+                if node.args:
+                    wildcard = True
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        wildcard = True
+                    else:
+                        keys.setdefault(keyword.arg, node.lineno)
+    return keys, wildcard
+
+
+def _read_keys(func_def):
+    """(keys -> line) consumed by *func_def*, plus a wildcard flag."""
+    keys, wildcard = {}, False
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                keys.setdefault(index.value, node.lineno)
+        elif isinstance(node, ast.Call):
+            name = astutil.call_name(node)
+            if name in _WILDCARD_READERS:
+                wildcard = True
+            if name in ("get", "pop") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    keys.setdefault(first.value, node.lineno)
+    return keys, wildcard
+
+
+@register
+class Snap02:
+    rule_id = "SNAP02"
+    description = ("snapshot_state dict keys must be symmetric with the "
+                   "keys restore_state consumes")
+    hint = ("write and read the same key set: restore every key the "
+            "snapshot captures, and never read a key the snapshot does "
+            "not write")
+
+    def check(self, module):
+        for class_def in astutil.iter_class_defs(module.tree):
+            methods = astutil.class_methods(class_def)
+            snapshot = methods.get("snapshot_state")
+            restore = methods.get("restore_state")
+            if snapshot is None or restore is None:
+                continue
+            written, any_write = _written_keys(snapshot)
+            read, any_read = _read_keys(restore)
+            if not written and not read:
+                continue  # tuple-shaped checkpoint
+            if not any_read:
+                for key in sorted(set(written) - set(read)):
+                    yield module.finding(
+                        self, written[key],
+                        f"{class_def.name}.snapshot_state writes key "
+                        f"{key!r} but restore_state never reads it")
+            if not any_write:
+                for key in sorted(set(read) - set(written)):
+                    yield module.finding(
+                        self, read[key],
+                        f"{class_def.name}.restore_state reads key {key!r} "
+                        f"but snapshot_state never writes it")

@@ -33,6 +33,17 @@ artifacts::
     python -m repro sweep --preset scale --workers 4 \\
         --snapshot-dir ~/.cache/repro-worlds    # rerun: zero world builds
 
+Static analysis (``repro analyze``)
+-----------------------------------
+
+``analyze`` runs the AST-based determinism & snapshot contract checkers
+(:mod:`repro.analysis`) over a source tree and exits nonzero on any
+finding — the CI gate behind docs/contracts.md::
+
+    python -m repro analyze                     # src/repro, all rules
+    python -m repro analyze src/repro --rules SNAP01,DET01
+    python -m repro analyze --list-rules
+
 Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
 (``--control-planes/--sites/--seeds/--zipf/--size-dists/--pacings/
 --fail-fractions/--flows/--mode``) override the chosen preset's axes.  Aggregates are
@@ -138,7 +149,7 @@ def build_parser():
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run an experiment")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
     run.add_argument("--seed", type=int, default=11)
     run.add_argument("--num-sites", type=int, default=8)
     run.add_argument("--flows", type=int, default=30)
@@ -146,6 +157,11 @@ def build_parser():
     report.add_argument("-o", "--output", default=None,
                         help="write markdown to this file (default: stdout)")
     report.add_argument("--seed", type=int, default=11)
+    analyze = sub.add_parser(
+        "analyze", help="run the determinism & snapshot contract checkers")
+    from repro.analysis.cli import add_arguments as add_analyze_arguments
+
+    add_analyze_arguments(analyze)
     sweep = sub.add_parser("sweep", help="run a scenario parameter sweep")
     sweep.add_argument("--preset", default="smoke",
                        help="grid preset (see repro.experiments.sweep.PRESETS)")
@@ -283,6 +299,10 @@ def main(argv=None):
                            [(name, description)
                             for name, (description, _runner) in sorted(EXPERIMENTS.items())]))
         return 0
+    if args.command == "analyze":
+        from repro.analysis.cli import run as run_analyze
+
+        return run_analyze(args)
     if args.command == "sweep":
         return _run_sweep_command(args)
     if args.command == "report":

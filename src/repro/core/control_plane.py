@@ -89,7 +89,7 @@ class PceControlPlane:
             self.pces[site.index] = pce
             site.pce_node.bind_udp(PORT_REVERSE, self._make_pce_reverse_handler(pce))
             routers = []
-            for b, node in enumerate(site.xtrs):
+            for node in site.xtrs:
                 xtr = TunnelRouter(sim, node, site, miss_policy=self.miss_policy,
                                    mapping_system=None, gleaning=False)
                 xtr.decap_listeners.append(self._make_etr_hook(site, xtr))
@@ -224,6 +224,12 @@ class PceControlPlane:
     # ------------------------------------------------------------------ #
     # World-reuse checkpointing
     # ------------------------------------------------------------------ #
+
+    #: Deploy-time wiring and config, immutable after __init__.  The xTRs in
+    #: ``xtrs_by_site`` are independently checkpointed components; only the
+    #: site->router table itself lives here, and it never changes.
+    _SNAPSHOT_EXEMPT = ("sim", "topology", "dns_system", "push_mode",
+                        "mapping_ttl", "enable_probing", "xtrs_by_site")
 
     def snapshot_state(self):
         return {

@@ -161,6 +161,13 @@ class IrcEngine:
         """Per-locator view for reporting: (delay_ewma, bytes_in, bytes_out)."""
         return [(est.delay_ewma, est.bytes_in, est.bytes_out) for est in self.estimates]
 
+    #: Construction-time config plus the seeded RNG stream (restored through
+    #: the simulator's RandomStreams checkpoint) and the periodic tick handle
+    #: (armed/next-fire state is engine state, captured by the simulator).
+    _SNAPSHOT_EXEMPT = ("sim", "site", "topology", "policy", "period",
+                        "ewma_alpha", "jitter", "flow_bytes_estimate",
+                        "utilisation_cap", "_rng", "_task")
+
     def snapshot_state(self):
         """Round counter and per-provider estimates for world reuse.
 
@@ -173,6 +180,6 @@ class IrcEngine:
 
     def restore_state(self, state):
         self.measurement_rounds, estimates = state
-        for est, values in zip(self.estimates, estimates):
+        for est, values in zip(self.estimates, estimates, strict=True):
             (est.delay_ewma, est.bytes_in, est.bytes_out,
              est.pledged_in, est.pledged_out) = values

@@ -64,7 +64,7 @@ class PceStats:
 
     def restore_state(self, state):
         counters, push_timeline, ipc_timeline = state
-        for name, value in zip(self._counter_attrs, counters):
+        for name, value in zip(self._counter_attrs, counters, strict=True):
             setattr(self, name, value)
         self.push_timeline = list(push_timeline)
         self.ipc_timeline = list(ipc_timeline)
@@ -330,6 +330,14 @@ class Pce:
     # ------------------------------------------------------------------ #
     # World-reuse checkpointing
     # ------------------------------------------------------------------ #
+
+    #: Wiring and config fixed at deploy time; the referenced components
+    #: (registry, irc, control_plane, resolver) checkpoint themselves.
+    _SNAPSHOT_EXEMPT = ("sim", "site", "topology", "resolver", "registry",
+                        "irc", "control_plane", "precompute",
+                        "computation_delay", "refresh_on_cached_answers",
+                        "include_backup_rlocs", "push_guard", "node",
+                        "address")
 
     def snapshot_state(self):
         return (self.stats.snapshot_state(), dict(self.pending_ingress),

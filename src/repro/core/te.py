@@ -32,7 +32,8 @@ class LinkLoadMonitor:
     def window_bytes(self):
         """Bytes transmitted per link since the window started."""
         return [link.stats.tx_bytes - start
-                for link, start in zip(self.links, self._window_start_bytes)]
+                for link, start in zip(self.links, self._window_start_bytes,
+                                       strict=True)]
 
     def window_rates(self):
         """Bytes/second per link over the current window."""
@@ -97,7 +98,7 @@ def plan_rebalance(loads, flows_by_itr, tolerance=1.2):
         # Move the largest flow that strictly lowers the maximum load —
         # anything else would oscillate between the two ITRs.
         chosen = None
-        for position, (prefix, size) in enumerate(candidates):
+        for position, (_prefix, size) in enumerate(candidates):
             new_max = max(loads[heaviest] - size, loads[lightest] + size)
             if new_max < loads[heaviest]:
                 chosen = position

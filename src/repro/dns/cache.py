@@ -123,6 +123,9 @@ class TtlCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    #: Construction-time config (owning sim, trace label, capacity bound).
+    _SNAPSHOT_EXEMPT = ("sim", "name", "max_entries")
+
     def snapshot_state(self):
         return (dict(self._entries), self._next_compact, self.hits,
                 self.misses, self.expirations, self.insertions,

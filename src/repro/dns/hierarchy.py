@@ -114,7 +114,7 @@ def install_dns(topology, host_ttl=60.0, extra_levels=0, processing_delay=0.0002
     tld_server = AuthoritativeServer(sim, tld_host, tld_zone,
                                      processing_delay=processing_delay)
     level_servers = []
-    for index, (origin, address, level_zone) in enumerate(level_zones):
+    for index, (_origin, address, level_zone) in enumerate(level_zones):
         host = topology.attach_infra_host((2 + index) % num_providers,
                                           f"lvl{index}-dns", address)
         level_servers.append(AuthoritativeServer(sim, host, level_zone,

@@ -105,6 +105,12 @@ class RecursiveResolver:
         self.node.send_udp(src=packet.ip.dst, dst=packet.ip.src, sport=DNS_PORT,
                            dport=packet.udp.sport, payload=reply.encode())
 
+    #: Construction-time config; root hints and the zone are immutable data,
+    #: the node and sim checkpoint themselves.
+    _SNAPSHOT_EXEMPT = ("sim", "node", "root_hints", "zone",
+                        "processing_delay", "use_cache", "max_record_ttl",
+                        "coalesce", "negative_ttl")
+
     def snapshot_state(self):
         return {
             "answer": self.answer_cache.snapshot_state(),

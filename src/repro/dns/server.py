@@ -44,6 +44,10 @@ class AuthoritativeServer:
         else:
             respond()
 
+    #: Construction-time wiring: the zone is immutable data, the node and
+    #: sim are independently checkpointed.
+    _SNAPSHOT_EXEMPT = ("sim", "node", "zone", "processing_delay")
+
     def snapshot_state(self):
         return self.queries_served
 

@@ -92,4 +92,4 @@ def run_fig1_walkthrough(seed=7):
 
 
 def _monotonic(times):
-    return all(a <= b for a, b in zip(times, times[1:]))
+    return all(a <= b for a, b in zip(times, times[1:], strict=False))

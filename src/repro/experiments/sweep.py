@@ -438,7 +438,7 @@ def prebuild_worlds(store, cells, workers=1, live=False):
             # parent memory is one in-flight blob, not the whole grid's.
             for config, blob in zip(missing,
                                     pool.imap(_build_blob, missing,
-                                              chunksize=1)):
+                                              chunksize=1), strict=True):
                 store.put_built(config, blob)
     else:
         for config in missing:
@@ -565,7 +565,7 @@ class AggregateFold:
         aggregates = []
         for key in sorted(self._groups):
             state = self._groups[key]
-            aggregate = dict(zip(_GROUP_FIELDS, key))
+            aggregate = dict(zip(_GROUP_FIELDS, key, strict=True))
             aggregate["cells"] = state["cells"]
             aggregate["seeds"] = sorted(state["seeds"])
             for name in _SUM_FIELDS:

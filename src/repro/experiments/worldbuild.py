@@ -126,8 +126,10 @@ SNAPSHOT_MAGIC = b"repro-world-snapshot\n"
 #: blob: mismatched snapshots are rebuilt, never restored.  v2: link
 #: checkpoints carry per-flow byte accounting and utilization windows, and
 #: :class:`~repro.experiments.scenario.ScenarioConfig` grew
-#: ``access_rate_bps`` (world keys shifted).
-SNAPSHOT_SCHEMA = 2
+#: ``access_rate_bps`` (world keys shifted).  v3:
+#: :class:`~repro.lisp.probing.RlocProber` checkpoints grew the
+#: ``on_down``/``on_up`` transition-listener lists.
+SNAPSHOT_SCHEMA = 3
 
 
 def _without_gc(func, *args, **kwargs):

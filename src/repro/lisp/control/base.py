@@ -141,6 +141,10 @@ class MappingSystem:
     #: containers; see repro.sim.state.state_copy).
     _state_attrs = ()
 
+    #: Deploy-time wiring: the sim checkpoints itself, and ``xtrs`` only
+    #: accumulates during topology construction, never during a run.
+    _SNAPSHOT_EXEMPT = ("sim", "xtrs")
+
     def snapshot_state(self):
         return {
             "stats": self.stats.snapshot_state(),

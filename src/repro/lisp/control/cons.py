@@ -193,7 +193,7 @@ class ConsMappingSystem(MappingSystem):
         if target is None:
             return
         forward = _ConsEnvelope(kind="request", request=envelope.request,
-                                path=list(envelope.path) + [me.address])
+                                path=[*envelope.path, me.address])
         self.stats.count("map-request-hop", forward.size_bytes)
         self.sim.call_in(self.hop_processing_delay, node.send_udp,
                          me.address, target.address, LISP_CONTROL_PORT,

@@ -96,6 +96,9 @@ class MapCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    #: Construction-time config (owning sim, trace label, TTL policy).
+    _SNAPSHOT_EXEMPT = ("sim", "name", "ttl_override")
+
     def snapshot_state(self):
         return (self._fib.snapshot_state(), self.hits, self.misses,
                 self.expirations, self.installs)

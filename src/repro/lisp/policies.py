@@ -42,6 +42,9 @@ class DropPolicy:
 
     name = "drop"
 
+    #: The owning sim checkpoints itself.
+    _SNAPSHOT_EXEMPT = ("sim",)
+
     def __init__(self, sim):
         self.sim = sim
         self.stats = MissPolicyStats()
@@ -66,6 +69,9 @@ class QueuePolicy:
     """Buffer packets per-EID until the mapping resolves (bounded)."""
 
     name = "queue"
+
+    #: The owning sim checkpoints itself; the queue bound is config.
+    _SNAPSHOT_EXEMPT = ("sim", "max_queue")
 
     def __init__(self, sim, max_queue=8):
         self.sim = sim
@@ -113,6 +119,9 @@ class CpDataPolicy:
     """
 
     name = "cp-data"
+
+    #: The owning sim checkpoints itself.
+    _SNAPSHOT_EXEMPT = ("sim",)
 
     def __init__(self, sim):
         self.sim = sim

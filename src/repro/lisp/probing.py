@@ -151,8 +151,15 @@ class RlocProber:
     # World-reuse checkpointing
     # ------------------------------------------------------------------ #
 
+    #: Construction-time wiring and config, immutable after __init__: the
+    #: owning sim/xtr, probe timing knobs, and the periodic tick handle
+    #: (its armed/next-fire state is engine state, captured by the
+    #: simulator's own checkpoint).
+    _SNAPSHOT_EXEMPT = ("sim", "xtr", "period", "timeout", "fail_threshold",
+                        "_task")
+
     def snapshot_state(self):
-        """Liveness verdicts, miss counters and nonce state for world reuse.
+        """Liveness verdicts, miss counters, nonce and transition listeners.
 
         The periodic tick itself (armed / next-fire time) is engine state,
         captured by the simulator's own checkpoint.  In-flight probes hold
@@ -165,14 +172,17 @@ class RlocProber:
                 f"{len(self._pending)} in-flight probes")
         return (frozenset(self.down), dict(self._consecutive_misses),
                 self._nonce, self.probes_sent, self.replies_received,
-                tuple(self.transitions))
+                tuple(self.transitions), list(self.on_down), list(self.on_up))
 
     def restore_state(self, state):
-        (down, misses, nonce, sent, received, transitions) = state
+        (down, misses, nonce, sent, received, transitions,
+         on_down, on_up) = state
         self.down = set(down)
         self._consecutive_misses = dict(misses)
         self._nonce = nonce
         self.probes_sent = sent
         self.replies_received = received
         self.transitions = list(transitions)
+        self.on_down = list(on_down)
+        self.on_up = list(on_up)
         self._pending = {}

@@ -188,6 +188,11 @@ class TunnelRouter:
     # World-reuse checkpointing
     # ------------------------------------------------------------------ #
 
+    #: Deploy-time wiring, immutable after __init__; the miss policy and
+    #: mapping system are independently checkpointed components.
+    _SNAPSHOT_EXEMPT = ("sim", "node", "site", "miss_policy",
+                        "mapping_system", "gleaning", "rloc")
+
     def snapshot_state(self):
         return {
             "map_cache": self.map_cache.snapshot_state(),

@@ -50,7 +50,7 @@ class UdpSocket:
 
         def _request():
             attempts = retries + 1
-            for attempt in range(attempts):
+            for _attempt in range(attempts):
                 self.send(dst, dport, payload=payload, payload_bytes=payload_bytes)
                 waiter = sim.event(name=f"udp:{self.host.name}:{self.port}")
                 self._waiters.append(waiter)
@@ -88,7 +88,7 @@ class Host(Node):
         self._address = IPv4Address(value)
         self.add_address(self._address)
 
-    _state_attrs = Node._state_attrs + ("_next_ephemeral",)
+    _state_attrs = (*Node._state_attrs, "_next_ephemeral")
 
     def ephemeral_port(self):
         """Allocate the next ephemeral port (wraps within the IANA range)."""

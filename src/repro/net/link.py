@@ -317,6 +317,10 @@ class Link:
         """Packets currently waiting (excluding the one in serialisation)."""
         return len(self._queue)
 
+    #: Construction-time topology and configuration, immutable after wiring.
+    _SNAPSHOT_EXEMPT = ("sim", "src_interface", "dst_interface", "delay",
+                        "rate_bps", "queue_capacity", "name")
+
     def snapshot_state(self):
         return (self.up, self._busy, self.stats.snapshot_state())
 

@@ -206,6 +206,10 @@ class Node:
                     "extra_addresses", "services", "_proto_handlers",
                     "_udp_ports", "forward_taps")
 
+    #: Construction-time identity and wiring: interfaces are created during
+    #: topology build and never change during a run.
+    _SNAPSHOT_EXEMPT = ("sim", "name", "interfaces")
+
     def snapshot_state(self):
         state = snapshot_attrs(self, self._state_attrs)
         state["fib"] = self.fib.snapshot_state()

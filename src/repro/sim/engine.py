@@ -203,6 +203,10 @@ class Simulator:
     # World-reuse checkpointing
     # ------------------------------------------------------------------ #
 
+    #: The RNG streams and the tracer are independently checkpointed
+    #: components (worldbuild captures them alongside the engine).
+    _SNAPSHOT_EXEMPT = ("rng", "trace")
+
     @property
     def serializable(self):
         """True when the engine meets the blob-serialization contract.
@@ -245,7 +249,7 @@ class Simulator:
             raise RuntimeError(
                 f"checkpoint has {len(periodic)} periodic tasks, "
                 f"world has {len(self._periodic)}")
-        for task, task_state in zip(self._periodic, periodic):
+        for task, task_state in zip(self._periodic, periodic, strict=True):
             task.restore_state(task_state)
             if task.armed:
                 heapq.heappush(self._queue,

@@ -127,6 +127,9 @@ class PeriodicTask:
     # Checkpointing (driven by the engine's snapshot/restore)
     # ------------------------------------------------------------------ #
 
+    #: Construction-time wiring: owning sim, the callback and its cadence.
+    _SNAPSHOT_EXEMPT = ("sim", "callback", "period", "name")
+
     def snapshot_state(self):
         """Timer state: (armed, next_fire, ticks, heap-entry sequence).
 

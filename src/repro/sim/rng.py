@@ -43,6 +43,9 @@ class RandomStreams:
         """Names of the streams created so far (for diagnostics)."""
         return sorted(self._streams)
 
+    #: The master seed is immutable identity, not run state.
+    _SNAPSHOT_EXEMPT = ("seed",)
+
     def snapshot_state(self):
         """Per-stream generator states (for world-reuse checkpointing)."""
         return {name: stream.getstate() for name, stream in self._streams.items()}

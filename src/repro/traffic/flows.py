@@ -122,6 +122,9 @@ class TcpStack:
 
         return sim.process(_connect(), name=f"{self.host.name}-connect")
 
+    #: Owning sim and host are independently checkpointed.
+    _SNAPSHOT_EXEMPT = ("sim", "host")
+
     def snapshot_state(self):
         return (self.segments_received, self.data_bytes_received,
                 dict(self._listeners))
@@ -152,6 +155,10 @@ class UdpSink:
         flow_id = packet.meta.get("flow_id")
         if flow_id is not None:
             self.by_flow[flow_id] = self.by_flow.get(flow_id, 0) + 1
+
+    #: Construction-time wiring: sim and host checkpoint themselves, the
+    #: bound port never changes.
+    _SNAPSHOT_EXEMPT = ("sim", "host", "port")
 
     def snapshot_state(self):
         return (self.received, self.bytes, dict(self.by_flow),

@@ -1,0 +1,14 @@
+"""DET01 fixture: every flavour of unsanctioned entropy."""
+
+import random
+import time
+import uuid
+
+JITTER = random.random()
+STARTED = time.time()
+TOKEN = uuid.uuid4()
+GENERATOR = random.Random()
+
+
+def worst_order(items):
+    return sorted(items, key=id)

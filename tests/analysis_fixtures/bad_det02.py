@@ -1,0 +1,15 @@
+"""DET02 fixture: set iteration order leaking into ordered work."""
+
+
+def schedule_all(sim, hosts):
+    for host in set(hosts):
+        sim.process(host)
+
+
+def digest_names(names):
+    return ",".join({name.lower() for name in names})
+
+
+def materialise(flags):
+    pending = {flag for flag in flags}
+    return list(pending)

@@ -1,0 +1,6 @@
+"""PER01 fixture: the perpetual generator loop PeriodicTask replaces."""
+
+
+def heartbeat(sim, period):
+    while True:
+        yield sim.timeout(period)

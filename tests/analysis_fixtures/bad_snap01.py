@@ -1,0 +1,18 @@
+"""SNAP01 fixture: an __init__ attribute the checkpoint never captures."""
+
+
+class LeakyCounter:
+    """Drops ``dropped`` on restore — exactly the bug SNAP01 exists for."""
+
+    _SNAPSHOT_EXEMPT = ("sim",)
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.count = 0
+        self.dropped = 0
+
+    def snapshot_state(self):
+        return (self.count,)
+
+    def restore_state(self, state):
+        (self.count,) = state

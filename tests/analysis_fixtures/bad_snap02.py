@@ -1,0 +1,14 @@
+"""SNAP02 fixture: snapshot writes a key the restore never reads."""
+
+
+class SkewedStore:
+    def __init__(self):
+        self.items = []
+        self.total = 0
+
+    def snapshot_state(self):
+        return {"items": list(self.items), "total": self.total}
+
+    def restore_state(self, state):
+        self.items = list(state["items"])
+        self.total = 0

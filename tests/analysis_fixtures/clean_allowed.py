@@ -1,0 +1,21 @@
+"""Clean fixture: sanctioned entropy plus an explicit pragma suppression."""
+
+import random
+import time
+
+SEEDED = random.Random(42)
+STARTED = time.time()  # repro: allow=DET01
+
+
+class TidyCounter:
+    _SNAPSHOT_EXEMPT = ("sim",)
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.count = 0
+
+    def snapshot_state(self):
+        return {"count": self.count}
+
+    def restore_state(self, state):
+        self.count = state["count"]

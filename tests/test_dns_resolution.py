@@ -108,7 +108,7 @@ def test_many_sites_resolution_matrix():
     sim, topology, dns = make_world(num_sites=5, hosts_per_site=1)
     stubs = [StubResolver(sim, site.hosts[0], site.dns_address) for site in topology.sites]
     procs = {}
-    for a, src in enumerate(topology.sites):
+    for a, _src in enumerate(topology.sites):
         for b, dst in enumerate(topology.sites):
             if a == b:
                 continue

@@ -285,7 +285,7 @@ def router_chain(sim, hops, delay=0.01):
     b = Host(sim, "b", address="10.0.0.2")
     routers = [Router(sim, f"r{i}") for i in range(hops)]
     chain = [a, *routers, b]
-    for left, right in zip(chain, chain[1:]):
+    for left, right in zip(chain, chain[1:], strict=False):
         iface_l = left.add_interface(f"to-{right.name}")
         iface_r = right.add_interface(f"to-{left.name}")
         connect(sim, iface_l, iface_r, delay=delay)

@@ -142,7 +142,8 @@ def test_udp_burst_paces_packets():
     sim.run()
     assert record.packets_sent == 4
     assert sink.by_flow[42] == 4
-    gaps = [t2 - t1 for t1, t2 in zip(sink.arrival_times, sink.arrival_times[1:])]
+    gaps = [t2 - t1 for t1, t2 in zip(sink.arrival_times,
+                                      sink.arrival_times[1:], strict=False)]
     assert all(gap == pytest.approx(0.01) for gap in gaps)
 
 
@@ -217,6 +218,6 @@ def test_send_flow_elephant_paces_at_plan_spacing():
     send_flow(sim, a, b.address, 9000, record, plan)
     sim.run()
     gaps = [t2 - t1 for t1, t2 in zip(sink.arrival_times,
-                                      sink.arrival_times[1:])]
+                                      sink.arrival_times[1:], strict=False)]
     assert gaps == [pytest.approx(0.02)] * 2
     assert record.flow_kind == "elephant"

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""cProfile harness for the workload hot path.
+
+Builds one scenario, runs the bulk workload under cProfile and prints
+the top functions by cumulative and internal time — the tool behind the
+hot-path passes (``__slots__`` on packets, the bucketed event queue,
+defaultdict accounting, the fluid tier).  Keep invocations comparable:
+the world is built *outside* the profiled region, so the numbers are the
+workload + data-plane costs only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_workload.py
+    PYTHONPATH=src python benchmarks/profile_workload.py --pacing fluid
+    PYTHONPATH=src python benchmarks/profile_workload.py \\
+        --sites 60 --flows 120 --packets 200 --top 30 --sort tottime
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.experiments.workload import WorkloadConfig, run_workload
+from repro.traffic.popularity import PACING_MODES
+
+
+def profile_run(args):
+    config = ScenarioConfig(control_plane="pce", num_sites=args.sites,
+                            num_providers=8, seed=args.seed, tracing=False,
+                            access_rate_bps=10_000_000.0)
+    workload = WorkloadConfig(num_flows=args.flows,
+                              arrival_rate=args.arrival_rate, zipf_s=1.2,
+                              size_dist="constant",
+                              packets_per_flow=args.packets,
+                              payload_bytes=1200, pacing=args.pacing,
+                              pace_rate_bps=2_000_000.0,
+                              elephant_threshold=10.0, fluid_threshold=10.0,
+                              grace_period=10.0)
+    scenario = build_scenario(config)  # outside the profiled region
+    profiler = cProfile.Profile()
+    profiler.enable()
+    records = run_workload(scenario, workload)
+    profiler.disable()
+    ok = sum(1 for record in records if not record.failed)
+    print(f"pacing={args.pacing} sites={args.sites} flows={len(records)} "
+          f"({ok} ok), {scenario.sim.processed_events} events processed")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pacing", default="shaped", choices=PACING_MODES,
+                        help="sender mode to profile (default: shaped)")
+    parser.add_argument("--sites", type=int, default=60)
+    parser.add_argument("--flows", type=int, default=120)
+    parser.add_argument("--packets", type=int, default=200,
+                        help="packets per flow (default: 200, bulk-heavy)")
+    parser.add_argument("--arrival-rate", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows to print (default: 25)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default: cumulative)")
+    profile_run(parser.parse_args(argv))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

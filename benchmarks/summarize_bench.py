@@ -40,6 +40,11 @@ SPEEDUP_RATIOS = {
     # (an overhead ratio — the benchmark gates it at <= 1.5x locally).
     "pacing_overhead_60": ("test_bench_workload_shaped",
                            "test_bench_workload_constant"),
+    # Fluid tier at 60 sites: packet-level elephants / fluid chunks on the
+    # same bulk-dominated workload (the benchmark gates it at >= 5x
+    # locally; see REPRO_FLUID_SPEEDUP_FLOOR).
+    "fluid_speedup_60": ("test_bench_workload_bulk_packet",
+                         "test_bench_workload_bulk_fluid"),
 }
 
 SCHEMA = "repro.bench/v1"

@@ -21,7 +21,7 @@ from repro.lisp.deploy import deploy_lisp
 from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
 from repro.net.topology import build_fig1_topology, build_topology
 from repro.sim import Simulator
-from repro.traffic.flows import TcpStack, UdpSink
+from repro.traffic.flows import FlowIdAllocator, TcpStack, UdpSink
 
 #: Port every host's TCP responder listens on.
 FLOW_TCP_PORT = 80
@@ -101,6 +101,9 @@ class Scenario:
     tcp_stacks: dict = field(default_factory=dict)
     udp_sinks: dict = field(default_factory=dict)
     stubs: dict = field(default_factory=dict)
+    #: Per-world flow-id sequence; checkpointed so fresh and restored
+    #: worlds label flows identically.
+    flow_ids: FlowIdAllocator = field(default_factory=FlowIdAllocator)
     #: Post-build component checkpoint (set by repro.experiments.worldbuild;
     #: None when the world cannot be reused).
     world_checkpoint: object = None
@@ -218,6 +221,7 @@ class Scenario:
         yield sim
         yield sim.rng
         yield sim.trace
+        yield self.flow_ids
         seen_links = set()
         for node in self.topology.all_nodes():
             yield node

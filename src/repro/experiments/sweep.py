@@ -72,20 +72,23 @@ from dataclasses import dataclass, field, fields
 from repro.experiments.e9_failover import schedule_access_failure
 from repro.experiments.scenario import CONTROL_PLANES, ScenarioConfig
 from repro.experiments.workload import (WorkloadConfig, classify_first_packet,
-                                        run_workload)
+                                        peak_concurrent_flows, run_workload)
 from repro.experiments.worldbuild import (SnapshotStore, WorldBuilder,
                                           WorldCacheStats, build_world,
                                           serialize_world, world_key)
 from repro.metrics.stats import summarize
 from repro.traffic.popularity import PACING_MODES, SIZE_DISTRIBUTIONS
 
-#: Schema tag written into every JSON artifact.  v4: the ``pacing`` axis
-#: joins the group key, and per-cell metrics carry link byte accounting
+#: Schema tag written into every JSON artifact.  v5: the ``fluid`` pacing
+#: mode joins the axis and per-cell metrics carry ``fluid_bytes`` (bytes
+#: that crossed links as fluid chunks) and ``peak_concurrent_flows``.
+#: v4: the ``pacing`` axis joined the group key, and per-cell metrics
+#: carry link byte accounting
 #: (``bytes_offered``/``bytes_delivered``/``bytes_dropped``/
 #: ``bytes_in_flight``, the ``bytes_conserved`` verdict, flow byte budgets
 #: and the peak access-link utilization).  v3 added ``sim_events``
 #: periodic ticks, fsum means, and the optional ``cells`` key.
-SCHEMA = "repro.sweep/v4"
+SCHEMA = "repro.sweep/v5"
 
 #: Default per-worker world-cache capacity.
 DEFAULT_MAX_WORLDS = 4
@@ -350,6 +353,9 @@ def run_cell(cell, builder=None):
         "bytes_conserved": accounting["conserved"],
         "flow_bytes_budget": sum(r.bytes_budget for r in records),
         "flow_bytes_sent": sum(r.bytes_sent for r in records),
+        "fluid_bytes": sum(link.stats.fluid_bytes
+                           for link in scenario.iter_links()),
+        "peak_concurrent_flows": peak_concurrent_flows(records),
         "access_util_peak": round(access_util_peak, 6),
         "sim_events": scenario.sim.processed_events,
         "sim_end_time": round(scenario.sim.now, 9),
@@ -510,7 +516,7 @@ _GROUP_FIELDS = ("control_plane", "num_sites", "zipf_s", "size_dist",
 #: Integer counters summed straight off each cell's metrics dict.
 _SUM_FIELDS = ("flows", "packets_lost", "first_packet_drops",
                "control_messages", "sim_events", "bytes_offered",
-               "bytes_delivered", "bytes_dropped")
+               "bytes_delivered", "bytes_dropped", "fluid_bytes")
 
 
 class AggregateFold:
@@ -539,7 +545,7 @@ class AggregateFold:
             state = self._groups[key] = {
                 "cells": 0, "seeds": [], "hit_ratios": [], "setup_p95s": [],
                 "dns_p95_max": None, "bytes_conserved": True,
-                "access_util_peak": 0.0,
+                "access_util_peak": 0.0, "peak_concurrent_flows": 0,
                 **{name: 0 for name in _SUM_FIELDS},
             }
         metrics = result["metrics"]
@@ -551,6 +557,8 @@ class AggregateFold:
                                     and metrics["bytes_conserved"])
         state["access_util_peak"] = max(state["access_util_peak"],
                                         metrics["access_util_peak"])
+        state["peak_concurrent_flows"] = max(state["peak_concurrent_flows"],
+                                             metrics["peak_concurrent_flows"])
         if metrics["cache_hit_ratio"] is not None:
             state["hit_ratios"].append(metrics["cache_hit_ratio"])
         if metrics["setup_latency"] is not None:
@@ -572,6 +580,7 @@ class AggregateFold:
                 aggregate[name] = state[name]
             aggregate["bytes_conserved"] = state["bytes_conserved"]
             aggregate["access_util_peak"] = round(state["access_util_peak"], 6)
+            aggregate["peak_concurrent_flows"] = state["peak_concurrent_flows"]
             aggregate["cache_hit_ratio_mean"] = _exact_mean(
                 state["hit_ratios"], 6)
             aggregate["setup_p95_mean"] = _exact_mean(state["setup_p95s"], 9)
@@ -804,7 +813,8 @@ CSV_COLUMNS = ("index", "cell_id", "control_plane", "num_sites", "seed",
                "setup_p95", "control_messages", "control_bytes",
                "bytes_offered", "bytes_delivered", "bytes_dropped",
                "bytes_in_flight", "bytes_conserved", "flow_bytes_budget",
-               "flow_bytes_sent", "access_util_peak", "sim_events")
+               "flow_bytes_sent", "fluid_bytes", "peak_concurrent_flows",
+               "access_util_peak", "sim_events")
 
 
 def _csv_row(cell):
@@ -825,6 +835,7 @@ def _csv_row(cell):
             "control_messages", "control_bytes", "bytes_offered",
             "bytes_delivered", "bytes_dropped", "bytes_in_flight",
             "bytes_conserved", "flow_bytes_budget", "flow_bytes_sent",
+            "fluid_bytes", "peak_concurrent_flows",
             "access_util_peak", "sim_events")},
         "dns_p50": dns.get("median", ""), "dns_p95": dns.get("p95", ""),
         "setup_p50": setup.get("median", ""),
@@ -941,13 +952,38 @@ PRESETS = {
         seeds=(31, 32),
         zipf_values=(1.2,),
         size_dists=("pareto",),
-        pacings=("constant", "shaped"),
+        pacings=("constant", "shaped", "fluid"),
         num_flows=40,
         arrival_rate=20.0,
         packets_per_flow=6,
         scenario_overrides={"access_rate_bps": 10_000_000.0},
         workload_overrides={"pace_rate_bps": 2_000_000.0,
                             "payload_bytes": 1200},
+    ),
+    # The fluid tier's headline: one cell, a hundred thousand concurrent
+    # bulk flows, interactive wall-clock.  Every flow goes fluid
+    # (``fluid_threshold`` 1 with constant 2000-packet sizes), so the data
+    # plane advances as one-second rate chunks: ~10 s of 2 Mbit/s per
+    # flow, 12k arrivals/s for 10 s — peak concurrency well past 100k with
+    # a dozen events per flow instead of thousands.  Access links stay
+    # infinite-rate: this preset measures scale, not congestion (the
+    # ``shaped`` preset covers rated-link contention).
+    "megaflow": SweepGrid(
+        name="megaflow",
+        control_planes=("pce",),
+        site_counts=(4,),
+        seeds=(41,),
+        zipf_values=(1.0,),
+        size_dists=("constant",),
+        pacings=("fluid",),
+        num_flows=120_000,
+        arrival_rate=12_000.0,
+        packets_per_flow=2000,
+        workload_overrides={"payload_bytes": 1200,
+                            "pace_rate_bps": 2_000_000.0,
+                            "fluid_threshold": 1.0,
+                            "fluid_chunk_interval": 1.0,
+                            "grace_period": 15.0},
     ),
     # RLOC failure as a sweep axis: half the sites lose their primary
     # access link mid-workload; PCE runs with probing + backup locators so

@@ -19,11 +19,12 @@ time, setup time, retransmissions, byte budgets and packet fates — the raw
 material for experiments E1/E3/E4/E7.
 """
 
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.experiments.scenario import FLOW_TCP_PORT, FLOW_UDP_PORT
-from repro.traffic.flows import FlowRecord, next_flow_id, send_flow
+from repro.traffic.flows import FlowRecord, send_flow
 from repro.traffic.popularity import FlowShaper, FlowSizeSampler, ZipfSampler
 
 
@@ -47,15 +48,21 @@ class WorkloadConfig:
     size_alpha: float = 1.4         # bounded-Pareto tail exponent
     size_sigma: float = 1.0         # lognormal shape
     size_max_factor: float = 50.0   # cap relative to the distribution scale
-    #: Pacing mode ("constant"|"shaped").  ``constant`` sends every flow's
-    #: packets ``packet_spacing`` apart (the historical sender, event-level
-    #: identical); ``shaped`` bursts mice back-to-back and paces elephants
-    #: at ``pace_rate_bps``.
+    #: Pacing mode ("constant"|"shaped"|"fluid").  ``constant`` sends every
+    #: flow's packets ``packet_spacing`` apart (the historical sender,
+    #: event-level identical); ``shaped`` bursts mice back-to-back and paces
+    #: elephants at ``pace_rate_bps``; ``fluid`` additionally advances bulk
+    #: flows as byte chunks with no per-packet events.
     pacing: str = "constant"
     pace_rate_bps: float = 2_000_000.0
     #: Flows above this many packets are elephants (None: 2x the size mean).
     elephant_threshold: Optional[float] = None
     burst_spacing: float = 0.0      # mouse inter-packet gap (0 = one burst)
+    #: Fluid pacing only: flows above this many packets go fluid (None:
+    #: the elephant threshold — every elephant advances as chunks).
+    fluid_threshold: Optional[float] = None
+    #: Seconds of pace-rate bytes per fluid chunk.
+    fluid_chunk_interval: float = 0.25
     source_site: Optional[int] = None   # None = uniformly random
     dest_site: Optional[int] = None     # None = Zipf over the other sites
     grace_period: float = 8.0       # settle time after the last arrival
@@ -73,7 +80,9 @@ def build_shaper(workload, rng=None):
                       spacing=workload.packet_spacing,
                       pace_rate_bps=workload.pace_rate_bps,
                       elephant_threshold=workload.elephant_threshold,
-                      burst_spacing=workload.burst_spacing)
+                      burst_spacing=workload.burst_spacing,
+                      fluid_threshold=workload.fluid_threshold,
+                      chunk_interval=workload.fluid_chunk_interval)
 
 
 def run_workload(scenario, workload):
@@ -112,7 +121,8 @@ def run_workload(scenario, workload):
         dst_site = topology.sites[dst_index]
         src_host = src_site.hosts[rng.randrange(len(src_site.hosts))]
         dst_host_index = rng.randrange(len(dst_site.hosts))
-        record = FlowRecord(flow_id=next_flow_id(), source=src_host.address,
+        record = FlowRecord(flow_id=scenario.flow_ids.allocate(),
+                            source=src_host.address,
                             qname=scenario.host_name(dst_site, dst_host_index),
                             started_at=sim.now)
         records.append(record)
@@ -151,10 +161,10 @@ def run_workload(scenario, workload):
     sim.run(until=sim.now + last_arrival + workload.grace_period)
 
     # Attribute deliveries back to flows via the sinks.
-    delivered_by_flow = {}
+    delivered_by_flow = defaultdict(int)
     for sink in scenario.udp_sinks.values():
         for flow_id, count in sink.by_flow.items():
-            delivered_by_flow[flow_id] = delivered_by_flow.get(flow_id, 0) + count
+            delivered_by_flow[flow_id] += count
     for record in records:
         record.packets_delivered = delivered_by_flow.get(record.flow_id, 0)
         # A flow cut off at the deadline before its DNS resolution finished
@@ -164,6 +174,28 @@ def run_workload(scenario, workload):
         if record.dns_done_at is None:
             record.failed = True
     return records
+
+
+def peak_concurrent_flows(records):
+    """Most flows simultaneously in their send phase (megaflow's headline).
+
+    A flow is active from ``started_at`` until ``finished_at``; flows cut
+    off at the workload deadline (``finished_at`` None) count as active to
+    the end.  Ties break ends-before-starts so back-to-back flows don't
+    double count.
+    """
+    marks = []
+    for record in records:
+        marks.append((record.started_at, 1))
+        if record.finished_at is not None:
+            marks.append((record.finished_at, -1))
+    marks.sort()
+    peak = current = 0
+    for _when, delta in marks:
+        current += delta
+        if current > peak:
+            peak = current
+    return peak
 
 
 def classify_first_packet(record):

@@ -128,8 +128,12 @@ SNAPSHOT_MAGIC = b"repro-world-snapshot\n"
 #: :class:`~repro.experiments.scenario.ScenarioConfig` grew
 #: ``access_rate_bps`` (world keys shifted).  v3:
 #: :class:`~repro.lisp.probing.RlocProber` checkpoints grew the
-#: ``on_down``/``on_up`` transition-listener lists.
-SNAPSHOT_SCHEMA = 3
+#: ``on_down``/``on_up`` transition-listener lists.  v4: the fluid data
+#: plane — :class:`~repro.net.link.LinkStats` checkpoints carry
+#: ``fluid_bytes``, :class:`~repro.traffic.flows.UdpSink` carries fluid
+#: byte counters, and worlds gained the per-world
+#: :class:`~repro.traffic.flows.FlowIdAllocator` component.
+SNAPSHOT_SCHEMA = 4
 
 
 def _without_gc(func, *args, **kwargs):

@@ -25,9 +25,24 @@ byte-conservation columns and the TE experiments' data-plane load shares
 read.  Transmitter busy time and offered bytes are also bucketed into
 fixed-width utilization windows (:meth:`LinkStats.utilization_series`), the
 per-link load signal behind E4's utilization report.
+
+Fluid chunks
+------------
+
+Bulk flows may bypass per-packet events entirely: :meth:`Link.post_fluid`
+advances ``rate x interval`` byte chunks through the same ledgers and
+utilization windows synchronously (never in flight), sharing transmitter
+capacity with packet traffic at window granularity.  The conservation
+invariant above is unchanged — see ``docs/contracts.md`` for the
+fluid-chunk contract.
 """
 
-from collections import deque
+from collections import defaultdict, deque
+
+
+def _empty_window():
+    """Fresh utilization-window cell (module-level so worlds stay picklable)."""
+    return [0.0, 0]
 
 
 class FlowAccount:
@@ -61,13 +76,15 @@ class LinkStats:
     sparse in :attr:`windows` as ``index -> [busy_seconds, bytes]``.
     """
 
-    __slots__ = ("tx_packets", "tx_bytes", "drops", "max_queue", "busy_time",
-                 "bytes_offered", "bytes_delivered", "bytes_dropped",
-                 "flows", "window_width", "windows")
+    __slots__ = ("tx_packets", "tx_bytes", "fluid_bytes", "drops", "max_queue",
+                 "busy_time", "bytes_offered", "bytes_delivered",
+                 "bytes_dropped", "flows", "window_width", "windows")
 
     def __init__(self, window_width=1.0):
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: Subset of ``tx_bytes`` that crossed the link as fluid chunks.
+        self.fluid_bytes = 0
         self.drops = 0
         self.max_queue = 0
         self.busy_time = 0.0
@@ -75,10 +92,10 @@ class LinkStats:
         self.bytes_delivered = 0
         self.bytes_dropped = 0
         #: flow id -> :class:`FlowAccount` (packets carrying a flow id only).
-        self.flows = {}
+        self.flows = defaultdict(FlowAccount)
         self.window_width = window_width
         #: window index -> [busy_seconds, bytes_offered_to_transmitter].
-        self.windows = {}
+        self.windows = defaultdict(_empty_window)
 
     @property
     def bytes_in_flight(self):
@@ -103,10 +120,7 @@ class LinkStats:
     def account_offered(self, size, flow_id):
         self.bytes_offered += size
         if flow_id is not None:
-            account = self.flows.get(flow_id)
-            if account is None:
-                account = self.flows[flow_id] = FlowAccount()
-            account.offered += size
+            self.flows[flow_id].offered += size
 
     def account_delivered(self, size, flow_id):
         self.bytes_delivered += size
@@ -126,11 +140,9 @@ class LinkStats:
         serialisation started.
         """
         width = self.window_width
+        windows = self.windows
         index = int(start / width)
-        window = self.windows.get(index)
-        if window is None:
-            window = self.windows[index] = [0.0, 0]
-        window[1] += size
+        windows[index][1] += size
         if tx_time <= 0.0:
             return
         remaining = tx_time
@@ -138,13 +150,66 @@ class LinkStats:
         while remaining > 0.0:
             boundary = (index + 1) * width
             slice_time = min(remaining, boundary - position)
-            window = self.windows.get(index)
-            if window is None:
-                window = self.windows[index] = [0.0, 0]
-            window[0] += slice_time
+            windows[index][0] += slice_time
             remaining -= slice_time
             position = boundary
             index += 1
+
+    def book_fluid(self, start, duration, size, rate_bps):
+        """Book *size* fluid bytes over ``[start, start + duration)``.
+
+        The fluid tier's transmitter model: a chunk asks for capacity in
+        every utilization window it overlaps, and each window grants at
+        most its remaining free transmitter time (window width minus busy
+        seconds already booked by packets and earlier fluid chunks).  The
+        grant is clipped to the chunk's own dwell time in the window, so a
+        chunk can never claim transmitter seconds outside its interval.
+        Granted bytes accrue busy time, window volume, ``tx_bytes`` and
+        ``fluid_bytes`` exactly as packet serialisation would; the
+        shortfall is returned to the caller to record as dropped.
+
+        Capacity sharing with packet traffic is window-granular: a window
+        looks full to a chunk once its busy seconds reach the window
+        width, regardless of *where* inside the window those seconds fall.
+
+        Returns the number of bytes granted (``<= size``).  Infinite-rate
+        links (``rate_bps`` None) grant everything and book volume only,
+        matching their zero serialisation time on the packet path.
+        """
+        windows = self.windows
+        width = self.window_width
+        if rate_bps is None:
+            windows[int(start / width)][1] += size
+            self.tx_bytes += size
+            self.fluid_bytes += size
+            return size
+        byte_time = 8.0 / rate_bps
+        remaining = size
+        position = start
+        end = start + duration
+        index = int(start / width)
+        while remaining > 0 and position < end:
+            boundary = (index + 1) * width
+            span = min(end, boundary) - position
+            window = windows[index]
+            free = width - window[0]
+            if span < free:
+                free = span
+            if free > 0.0:
+                grant = int(free / byte_time + 1e-9)
+                if grant > remaining:
+                    grant = remaining
+                if grant:
+                    busy = grant * byte_time
+                    window[0] += busy
+                    window[1] += grant
+                    self.busy_time += busy
+                    self.tx_bytes += grant
+                    self.fluid_bytes += grant
+                    remaining -= grant
+            position = boundary
+            index += 1
+        return size - remaining
 
     def utilization_series(self):
         """Sorted ``(window_start, busy_fraction, bytes)`` tuples.
@@ -192,9 +257,9 @@ class LinkStats:
     # ------------------------------------------------------------------ #
 
     def snapshot_state(self):
-        return (self.tx_packets, self.tx_bytes, self.drops, self.max_queue,
-                self.busy_time, self.bytes_offered, self.bytes_delivered,
-                self.bytes_dropped,
+        return (self.tx_packets, self.tx_bytes, self.fluid_bytes, self.drops,
+                self.max_queue, self.busy_time, self.bytes_offered,
+                self.bytes_delivered, self.bytes_dropped,
                 {flow_id: account.as_tuple()
                  for flow_id, account in self.flows.items()},
                 self.window_width,
@@ -202,13 +267,16 @@ class LinkStats:
                  for index, (busy, volume) in self.windows.items()})
 
     def restore_state(self, state):
-        (self.tx_packets, self.tx_bytes, self.drops, self.max_queue,
-         self.busy_time, self.bytes_offered, self.bytes_delivered,
-         self.bytes_dropped, flows, self.window_width, windows) = state
-        self.flows = {flow_id: FlowAccount(*counts)
-                      for flow_id, counts in flows.items()}
-        self.windows = {index: [busy, volume]
-                        for index, (busy, volume) in windows.items()}
+        (self.tx_packets, self.tx_bytes, self.fluid_bytes, self.drops,
+         self.max_queue, self.busy_time, self.bytes_offered,
+         self.bytes_delivered, self.bytes_dropped, flows,
+         self.window_width, windows) = state
+        self.flows = defaultdict(FlowAccount,
+                                 {flow_id: FlowAccount(*counts)
+                                  for flow_id, counts in flows.items()})
+        self.windows = defaultdict(_empty_window,
+                                   {index: [busy, volume]
+                                    for index, (busy, volume) in windows.items()})
 
 
 def _flow_id_of(packet):
@@ -304,13 +372,53 @@ class Link:
 
     def _deliver(self, packet):
         size = packet.size_bytes
-        flow_id = _flow_id_of(packet)
+        meta = packet.innermost().meta
+        flow_id = meta.get("flow_id")
         if not self.up:
             self.stats.drops += 1
             self.stats.account_dropped(size, flow_id)
             return
         self.stats.account_delivered(size, flow_id)
+        probe = meta.get("fluid_probe")
+        if probe is not None:
+            # A fluid flow's path-discovery packet: record the traversal so
+            # the sender can post subsequent chunks to the same links.
+            probe["links"].append(self)
         self.dst_interface.node.receive(packet, self.dst_interface)
+
+    def post_fluid(self, size, flow_id, duration):
+        """Advance *size* fluid bytes across this link over *duration* seconds.
+
+        The fluid fast path: offered/delivered/dropped ledgers, the flow's
+        :class:`FlowAccount`, busy time and utilization windows are all
+        updated synchronously — a fluid chunk is never in flight.  Capacity
+        is shared with concurrent packet traffic through the utilization
+        windows (see :meth:`LinkStats.book_fluid`); whatever the covered
+        windows cannot grant, and everything offered while the link is
+        down, is recorded as dropped.  Returns the bytes delivered.
+        """
+        stats = self.stats
+        stats.bytes_offered += size
+        if not self.up:
+            delivered = 0
+        elif self.rate_bps is None:
+            # Infinite rate: grant everything, book volume only (inlined
+            # from book_fluid — this is the megaflow hot path).
+            delivered = size
+            stats.windows[int(self.sim.now / stats.window_width)][1] += size
+            stats.tx_bytes += size
+            stats.fluid_bytes += size
+        else:
+            delivered = stats.book_fluid(self.sim.now, duration, size,
+                                         self.rate_bps)
+        stats.bytes_delivered += delivered
+        stats.bytes_dropped += size - delivered
+        if flow_id is not None:
+            account = stats.flows[flow_id]
+            account.offered += size
+            account.delivered += delivered
+            account.dropped += size - delivered
+        return delivered
 
     @property
     def queue_length(self):

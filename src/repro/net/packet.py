@@ -24,7 +24,7 @@ TCP_HEADER_BYTES = 20
 _packet_ids = count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv4Header:
     """The fields of an IPv4 header the simulator cares about."""
 
@@ -46,7 +46,7 @@ class IPv4Header:
         return f"IP({self.src}->{self.dst} proto={self.proto} ttl={self.ttl})"
 
 
-@dataclass
+@dataclass(slots=True)
 class UDPHeader:
     """UDP source/destination ports."""
 
@@ -68,7 +68,7 @@ TCP_FIN = 0x01
 TCP_RST = 0x04
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPHeader:
     """A minimal TCP header: ports, flags, sequence numbers."""
 
@@ -102,7 +102,7 @@ class TCPHeader:
         return f"TCP({self.sport}->{self.dport} {'|'.join(names) or '-'})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A packet in flight.
 

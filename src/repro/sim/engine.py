@@ -17,11 +17,68 @@ PRIORITY_URGENT = 0
 #: Version of the engine's blob-serializable state contract.  A settled
 #: simulator (no pending foreground events) is plain picklable data: clock,
 #: sequence counters, RNG stream states, tracer, and armed periodic-task
-#: timers riding the heap as :class:`PeriodicFire` entries.  World-snapshot
+#: timers riding the queue as :class:`PeriodicFire` entries.  World-snapshot
 #: blobs embed this version; bump it whenever that serialized shape changes
-#: (heap entry layout, checkpoint tuple format, periodic-task state) so
-#: stale blobs written by an older engine are rebuilt instead of restored.
-STATE_VERSION = 1
+#: (queue layout, checkpoint tuple format, periodic-task state) so stale
+#: blobs written by an older engine are rebuilt instead of restored.
+#:
+#: v2: the (time, priority, sequence, entry) tuple heap became a heap of
+#: distinct timestamps plus per-timestamp :class:`_Bucket` entry lists.
+STATE_VERSION = 2
+
+
+class _Bucket:
+    """Every entry scheduled for one timestamp, in (priority, insertion) order.
+
+    Scheduling appends; consumption advances a read index instead of
+    popping, so a bucket is one allocation per *distinct* timestamp no
+    matter how many events share it.  Urgent entries are rare, so their
+    list is created lazily.
+    """
+
+    __slots__ = ("urgent", "normal", "ui", "ni")
+
+    def __init__(self):
+        self.urgent = None
+        self.normal = []
+        self.ui = 0
+        self.ni = 0
+
+    def add_urgent(self, entry):
+        if self.urgent is None:
+            self.urgent = []
+        self.urgent.append(entry)
+
+    def next_live(self):
+        """The next unconsumed live entry, or None when exhausted.
+
+        Stale :class:`PeriodicFire` entries (invalidated by a re-arm or
+        stop) are consumed silently along the way, mirroring how the old
+        tuple heap discarded them at pop time.
+        """
+        urgent = self.urgent
+        if urgent is not None:
+            while self.ui < len(urgent):
+                entry = urgent[self.ui]
+                if type(entry) is PeriodicFire and not entry.live:
+                    self.ui += 1
+                    continue
+                return entry
+        normal = self.normal
+        while self.ni < len(normal):
+            entry = normal[self.ni]
+            if type(entry) is PeriodicFire and not entry.live:
+                self.ni += 1
+                continue
+            return entry
+        return None
+
+    def consume(self):
+        """Consume the entry :meth:`next_live` just returned."""
+        if self.urgent is not None and self.ui < len(self.urgent):
+            self.ui += 1
+        else:
+            self.ni += 1
 
 
 class Simulator:
@@ -30,10 +87,16 @@ class Simulator:
     Events scheduled for the same time are processed in (priority, insertion
     order), so behaviour is fully reproducible for a given seed.
 
+    The queue is two-level: a heap of distinct timestamps over per-timestamp
+    buckets of entries in insertion order.  Same-time scheduling — the
+    dominant case once processes chain zero-delay events — is a dict lookup
+    and a list append instead of a heap sift, and draining a burst of
+    same-time events advances a read index instead of re-heapifying.
+
     The queue holds two kinds of entries: *foreground* events (ordinary
     events, timeouts, process resumptions — finite work the simulation must
     complete) and *background* ticks of registered
-    :class:`~repro.sim.periodic.PeriodicTask` objects.  Both share one heap
+    :class:`~repro.sim.periodic.PeriodicTask` objects.  Both share one queue
     so their interleaving is deterministic, but only foreground entries
     count as pending work: ``run()`` with no ``until`` drains foreground
     events (firing any background ticks that fall before them in time) and
@@ -55,7 +118,8 @@ class Simulator:
         self.now = 0.0
         self.rng = RandomStreams(seed)
         self.trace = Tracer(enabled=tracing)
-        self._queue = []
+        self._times = []
+        self._buckets = {}
         self._sequence = 0
         self._processed_events = 0
         self._foreground = 0
@@ -110,20 +174,29 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def _schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
-        sequence = self._sequence
         self._sequence += 1
         self._foreground += 1
-        heapq.heappush(self._queue, (self.now + delay, priority, sequence, event))
+        when = self.now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = self._buckets[when] = _Bucket()
+            heapq.heappush(self._times, when)
+        if priority == PRIORITY_NORMAL:
+            bucket.normal.append(event)
+        else:
+            bucket.add_urgent(event)
 
     def _register_periodic(self, task):
         self._periodic.append(task)
 
     def _schedule_periodic(self, task, when):
         """Push a background tick entry for *task*; returns its sequence."""
-        sequence = self._sequence
-        self._sequence += 1
-        heapq.heappush(self._queue,
-                       (when, PRIORITY_NORMAL, sequence, PeriodicFire(task, task._epoch)))
+        sequence = self._sequence = self._sequence + 1
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = self._buckets[when] = _Bucket()
+            heapq.heappush(self._times, when)
+        bucket.normal.append(PeriodicFire(task, task._epoch))
         return sequence
 
     @property
@@ -136,20 +209,34 @@ class Simulator:
         """Number of scheduled foreground events (diagnostic)."""
         return self._foreground
 
+    def _next(self, consume):
+        """The (time, entry) of the next live entry, or ``(None, None)``.
+
+        Exhausted buckets are retired and stale background entries
+        discarded as a side effect, whether or not the entry is consumed.
+        """
+        times, buckets = self._times, self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            entry = bucket.next_live()
+            if entry is None:
+                heapq.heappop(times)
+                del buckets[when]
+                continue
+            if consume:
+                bucket.consume()
+            return when, entry
+        return None, None
+
     def peek(self):
         """Time of the next scheduled event, or ``float('inf')`` if none.
 
         Stale background entries (ticks invalidated by a re-arm or stop)
         are discarded from the head of the queue as a side effect.
         """
-        queue = self._queue
-        while queue:
-            entry = queue[0][3]
-            if isinstance(entry, PeriodicFire) and not entry.live:
-                heapq.heappop(queue)
-                continue
-            return queue[0][0]
-        return float("inf")
+        when, entry = self._next(False)
+        return float("inf") if entry is None else when
 
     def step(self):
         """Process exactly one event or periodic tick, whichever is next.
@@ -157,21 +244,16 @@ class Simulator:
         Stale background entries are skipped without advancing the clock;
         raises :class:`EmptySchedule` when nothing (live) is scheduled.
         """
-        while self._queue:
-            when, _priority, _sequence, entry = heapq.heappop(self._queue)
-            if isinstance(entry, PeriodicFire):
-                if not entry.live:
-                    continue
-                self.now = when
-                self._processed_events += 1
-                entry.task._fire()
-                return
-            self.now = when
+        when, entry = self._next(True)
+        if entry is None:
+            raise EmptySchedule("no events scheduled")
+        self.now = when
+        self._processed_events += 1
+        if type(entry) is PeriodicFire:
+            entry.task._fire()
+        else:
             self._foreground -= 1
-            self._processed_events += 1
             entry._run_callbacks()
-            return
-        raise EmptySchedule("no events scheduled")
 
     def run(self, until=None):
         """Run until foreground work drains, or simulated time exceeds *until*.
@@ -189,8 +271,18 @@ class Simulator:
             return self.now
         if until < self.now:
             raise ValueError(f"run(until={until}) is in the past (now={self.now})")
-        while self.peek() <= until:
-            self.step()
+        while True:
+            when, entry = self._next(False)
+            if entry is None or when > until:
+                break
+            self._buckets[when].consume()
+            self.now = when
+            self._processed_events += 1
+            if type(entry) is PeriodicFire:
+                entry.task._fire()
+            else:
+                self._foreground -= 1
+                entry._run_callbacks()
         self.now = until
         return self.now
 
@@ -238,12 +330,13 @@ class Simulator:
         """Restore counters and re-arm every checkpointed periodic task.
 
         The queue is rebuilt to hold exactly the background tick entries
-        the checkpoint captured — same fire times *and* same sequence
-        numbers, so same-time ties keep breaking identically to the fresh
-        build.
+        the checkpoint captured — same fire times, inserted in checkpointed
+        sequence order, so same-time ties keep breaking identically to the
+        fresh build.
         """
         self.now, self._sequence, self._processed_events, periodic = state
-        self._queue.clear()
+        self._times.clear()
+        self._buckets.clear()
         self._foreground = 0
         if len(periodic) != len(self._periodic):
             raise RuntimeError(
@@ -251,8 +344,11 @@ class Simulator:
                 f"world has {len(self._periodic)}")
         for task, task_state in zip(self._periodic, periodic, strict=True):
             task.restore_state(task_state)
-            if task.armed:
-                heapq.heappush(self._queue,
-                               (task.next_fire, PRIORITY_NORMAL,
-                                task._entry_sequence,
-                                PeriodicFire(task, task._epoch)))
+        armed = sorted((task for task in self._periodic if task.armed),
+                       key=lambda task: task._entry_sequence)
+        for task in armed:
+            bucket = self._buckets.get(task.next_fire)
+            if bucket is None:
+                bucket = self._buckets[task.next_fire] = _Bucket()
+                heapq.heappush(self._times, task.next_fire)
+            bucket.normal.append(PeriodicFire(task, task._epoch))

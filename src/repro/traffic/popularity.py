@@ -130,8 +130,10 @@ class FlowSizeSampler:
 
 #: Supported pacing modes: ``constant`` keeps the historical fixed
 #: inter-packet spacing for every flow; ``shaped`` sends mice as
-#: back-to-back bursts and paces elephants at a target bit rate.
-PACING_MODES = ("constant", "shaped")
+#: back-to-back bursts and paces elephants at a target bit rate; ``fluid``
+#: additionally advances bulk flows as rate x interval byte chunks posted
+#: straight into the link ledgers (no per-packet events).
+PACING_MODES = ("constant", "shaped", "fluid")
 
 
 @dataclass(frozen=True)
@@ -140,14 +142,23 @@ class FlowPlan:
 
     ``packets`` datagrams of ``payload_bytes`` each, ``spacing`` seconds
     apart (0.0 means a single back-to-back burst).  ``kind`` records how
-    the plan was shaped: ``constant`` (fixed spacing), ``mouse`` (burst)
-    or ``elephant`` (paced at the shaper's target rate).
+    the plan was shaped: ``constant`` (fixed spacing), ``mouse`` (burst),
+    ``elephant`` (paced at the shaper's target rate) or ``fluid`` (bulk
+    bytes advance as chunks, only the path-discovery packet is real).
+
+    A fluid plan's sender posts ``chunk_packets`` packets' worth of wire
+    bytes (payload plus ``overhead_bytes`` of headers) every
+    ``chunk_interval`` seconds — the chunking of the shaper's pace rate.
+    Both fields are 0 on packet-level plans.
     """
 
     packets: int
     payload_bytes: int
     spacing: float
     kind: str
+    chunk_interval: float = 0.0
+    chunk_packets: int = 0
+    overhead_bytes: int = 0
 
     @property
     def byte_budget(self):
@@ -175,11 +186,19 @@ class FlowShaper:
     for IPv4+UDP).  ``elephant_threshold`` defaults to twice the sampler's
     mean, so constant-size workloads never contain elephants and the
     threshold scales with the size axis.
+
+    ``fluid`` pacing classifies exactly like ``shaped`` but flows above
+    ``fluid_threshold`` packets (default: the elephant threshold) become
+    ``fluid`` plans: one real path-discovery packet, then the remaining
+    bytes advance as chunks of ``chunk_interval`` seconds' worth of the
+    pace rate.  Mice — and anything at or below the threshold — stay
+    packet-level and event-exact.
     """
 
     def __init__(self, sizes, payload_bytes, pacing="constant", spacing=0.001,
                  pace_rate_bps=2_000_000.0, elephant_threshold=None,
-                 burst_spacing=0.0, overhead_bytes=28):
+                 burst_spacing=0.0, overhead_bytes=28,
+                 fluid_threshold=None, chunk_interval=0.25):
         if pacing not in PACING_MODES:
             raise ValueError(f"unknown pacing mode {pacing!r}")
         if payload_bytes < 1:
@@ -188,6 +207,8 @@ class FlowShaper:
             raise ValueError("pace_rate_bps must be positive")
         if burst_spacing < 0 or spacing < 0:
             raise ValueError("packet spacings must be >= 0")
+        if chunk_interval <= 0:
+            raise ValueError("chunk_interval must be positive")
         self.sizes = sizes
         self.payload_bytes = int(payload_bytes)
         self.pacing = pacing
@@ -198,14 +219,27 @@ class FlowShaper:
         if elephant_threshold < 1:
             raise ValueError("elephant_threshold must be >= 1 packet")
         self.elephant_threshold = elephant_threshold
+        if fluid_threshold is None:
+            fluid_threshold = elephant_threshold
+        if fluid_threshold < 1:
+            raise ValueError("fluid_threshold must be >= 1 packet")
+        self.fluid_threshold = fluid_threshold
         self.burst_spacing = float(burst_spacing)
         self.overhead_bytes = int(overhead_bytes)
+        self.chunk_interval = float(chunk_interval)
 
     @property
     def pace_spacing(self):
         """The elephant inter-packet gap (seconds) at the target rate."""
         wire_bytes = self.payload_bytes + self.overhead_bytes
         return wire_bytes * 8.0 / self.pace_rate_bps
+
+    @property
+    def chunk_packets(self):
+        """Packets' worth of bytes per fluid chunk at the pace rate."""
+        wire_bytes = self.payload_bytes + self.overhead_bytes
+        return max(1, round(self.pace_rate_bps * self.chunk_interval
+                            / (8.0 * wire_bytes)))
 
     def plan(self, rng=None):
         """Draw one flow: a size from the sampler, shaped into a plan.
@@ -218,6 +252,12 @@ class FlowShaper:
         if self.pacing == "constant":
             return FlowPlan(packets=packets, payload_bytes=self.payload_bytes,
                             spacing=self.spacing, kind="constant")
+        if self.pacing == "fluid" and packets > self.fluid_threshold:
+            return FlowPlan(packets=packets, payload_bytes=self.payload_bytes,
+                            spacing=self.pace_spacing, kind="fluid",
+                            chunk_interval=self.chunk_interval,
+                            chunk_packets=self.chunk_packets,
+                            overhead_bytes=self.overhead_bytes)
         if packets > self.elephant_threshold:
             return FlowPlan(packets=packets, payload_bytes=self.payload_bytes,
                             spacing=self.pace_spacing, kind="elephant")

@@ -113,9 +113,14 @@ _PRESET_SHRINK = {
     "baselines": dict(site_counts=(4,), seeds=(11,), zipf_values=(1.2,),
                       num_flows=16),
     "scale": dict(site_counts=(4,), seeds=(11,), num_flows=16,
-                  num_providers=4),
-    "failover": dict(seeds=(21,), num_flows=16),
+                  num_providers=4, pacings=("constant", "fluid"),
+                  workload_overrides={"tcp_data_burst": True,
+                                      "fluid_threshold": 3.0}),
+    "failover": dict(seeds=(21,), num_flows=16,
+                     pacings=("constant", "fluid"),
+                     workload_overrides={"fluid_threshold": 3.0}),
     "shaped": dict(site_counts=(4,), seeds=(31,), num_flows=16),
+    "megaflow": dict(num_flows=600, arrival_rate=300.0),
 }
 
 

@@ -65,7 +65,7 @@ def test_sweep_artifacts(tmp_path):
     payload = run_sweep(TINY, workers=1, json_path=str(json_path),
                         csv_path=str(csv_path))
     on_disk = json.loads(json_path.read_text())
-    assert on_disk["schema"] == "repro.sweep/v4"
+    assert on_disk["schema"] == "repro.sweep/v5"
     assert on_disk["num_cells"] == len(payload["cells"]) == 4
     assert payload_digest(on_disk) == payload_digest(payload)
     with open(csv_path) as handle:
@@ -274,11 +274,12 @@ def test_pacing_axis_digest_invariant_across_workers():
 def test_shaped_preset_shapes_traffic():
     grid = PRESETS["shaped"]
     cells = expand_grid(grid)
-    assert {cell.workload.pacing for cell in cells} == {"constant", "shaped"}
+    assert {cell.workload.pacing for cell in cells} \
+        == {"constant", "shaped", "fluid"}
     assert all(cell.scenario.access_rate_bps == 10_000_000.0 for cell in cells)
-    # Constant/shaped pairs share worlds, halving the distinct world count.
+    # Pacing triples share worlds, cutting the distinct world count 3x.
     from repro.experiments.sweep import distinct_world_configs
-    assert len(distinct_world_configs(cells)) == len(cells) // 2
+    assert len(distinct_world_configs(cells)) == len(cells) // 3
 
 
 def test_cell_metrics_carry_byte_accounting():

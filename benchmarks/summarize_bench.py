@@ -45,6 +45,11 @@ SPEEDUP_RATIOS = {
     # locally; see REPRO_FLUID_SPEEDUP_FLOOR).
     "fluid_speedup_60": ("test_bench_workload_bulk_packet",
                          "test_bench_workload_bulk_fluid"),
+    # Tiered topology scaling: 4k-site build / 1k-site build (an overhead
+    # ratio — the benchmark gates it under REPRO_TOPOLOGY_SCALING_CEILING,
+    # far below the 16x an all-pairs provider Dijkstra would cost).
+    "tiered_build_scaling_4x": ("test_bench_tiered_build[4000]",
+                                "test_bench_tiered_build[1000]"),
 }
 
 SCHEMA = "repro.bench/v1"

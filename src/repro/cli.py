@@ -14,7 +14,8 @@ Each experiment prints the regenerated table plus its shape-check verdict
 Parameter sweeps (``repro sweep``)
 ----------------------------------
 
-``sweep`` expands a declarative grid (control plane x site count x seed x
+``sweep`` expands a declarative grid (control plane x topology family x
+site count x seed x
 Zipf skew x flow-size distribution x pacing mode x RLOC-failure fraction)
 into scenario/workload cells, pre-builds each distinct world exactly once
 into a shared snapshot store (workers restore serialized world blobs
@@ -45,8 +46,9 @@ finding — the CI gate behind docs/contracts.md::
     python -m repro analyze --list-rules
 
 Presets live in :data:`repro.experiments.sweep.PRESETS`; the axis flags
-(``--control-planes/--sites/--seeds/--zipf/--size-dists/--pacings/
---fail-fractions/--flows/--mode``) override the chosen preset's axes.  Aggregates are
+(``--control-planes/--topologies/--sites/--seeds/--zipf/--size-dists/
+--pacings/--fail-fractions/--flows/--mode``) override the chosen preset's
+axes.  Aggregates are
 deterministic: the same grid and seeds produce byte-identical JSON for any
 ``--workers`` value (world-cache counters are reported separately).  For
 giant grids, ``--no-json`` keeps the run memory-flat: aggregation and CSV
@@ -105,6 +107,7 @@ _RUN_NAMES = {
     "e7_cache_aging": "run_e7",
     "e8_reverse_mapping": "run_e8",
     "e9_failover": "run_e9",
+    "e10_topology_shape": "run_e10",
 }
 
 EXPERIMENTS = {
@@ -138,6 +141,10 @@ EXPERIMENTS = {
            _table_runner("e8_reverse_mapping", lambda a: dict(seed=a.seed))),
     "e9": ("locator failure / probing failover",
            _table_runner("e9_failover", lambda a: dict(seed=a.seed))),
+    "e10": ("mapping systems vs topology shape",
+            _table_runner("e10_topology_shape",
+                          lambda a: dict(num_sites=a.num_sites,
+                                         num_flows=a.flows, seed=a.seed))),
 }
 
 
@@ -186,6 +193,9 @@ def build_parser():
                             "key + schema version) and repeated sweeps "
                             "restore instead of rebuilding")
     sweep.add_argument("--control-planes", nargs="+", default=None)
+    sweep.add_argument("--topologies", nargs="+", default=None,
+                       help="topology families (fig1/flat/tiered/caida; "
+                            "see repro.net.topogen)")
     sweep.add_argument("--sites", nargs="+", type=int, default=None)
     sweep.add_argument("--seeds", nargs="+", type=int, default=None)
     sweep.add_argument("--zipf", nargs="+", type=float, default=None)
@@ -220,6 +230,8 @@ def _run_sweep_command(args):
     overrides = {}
     if args.control_planes is not None:
         overrides["control_planes"] = tuple(args.control_planes)
+    if args.topologies is not None:
+        overrides["topologies"] = tuple(args.topologies)
     if args.sites is not None:
         overrides["site_counts"] = tuple(args.sites)
     if args.seeds is not None:
@@ -259,7 +271,8 @@ def _run_sweep_command(args):
     except ValueError as error:
         print(f"sweep error: {error}")
         return 1
-    rows = [(a["control_plane"], a["num_sites"], a["zipf_s"], a["size_dist"],
+    rows = [(a["control_plane"], a["topology"], a["num_sites"], a["zipf_s"],
+             a["size_dist"],
              a["pacing"], f"{a['fail_fraction']:g}", a["cells"],
              a["flows"], a["first_packet_drops"], a["packets_lost"],
              "-" if a["cache_hit_ratio_mean"] is None
@@ -269,7 +282,8 @@ def _run_sweep_command(args):
              "ok" if a["bytes_conserved"] else "VIOLATED",
              f"{a['access_util_peak']:.2f}")
             for a in payload["aggregates"]]
-    print(format_table(("system", "sites", "zipf", "sizes", "pacing", "fail",
+    print(format_table(("system", "topo", "sites", "zipf", "sizes", "pacing",
+                        "fail",
                         "cells", "flows", "first_pkt_drops", "pkts_lost",
                         "hit_ratio", "setup_p95", "bytes", "util"), rows,
                        title=f"sweep '{grid.name}': {payload['num_cells']} cells"))

@@ -19,7 +19,7 @@ from repro.dns.resolver import StubResolver
 from repro.lisp.control import AltMappingSystem, ConsMappingSystem, NerdMappingSystem
 from repro.lisp.deploy import deploy_lisp
 from repro.lisp.policies import CpDataPolicy, DropPolicy, QueuePolicy
-from repro.net.topology import build_fig1_topology, build_topology
+from repro.net.topogen import FAMILIES, TopologySpec, build as build_from_spec
 from repro.sim import Simulator
 from repro.traffic.flows import FlowIdAllocator, TcpStack, UdpSink
 
@@ -80,6 +80,60 @@ class ScenarioConfig:
     #: latency formulas assume.  Shaped-traffic scenarios set a finite rate
     #: so link busy time — and therefore utilization — is real.
     access_rate_bps: Optional[float] = None
+    #: Topology family name (``"fig1"``/``"flat"``/``"tiered"``/``"caida"``)
+    #: or a full :class:`~repro.net.topogen.TopologySpec`.  A family name
+    #: keeps the loose sizing fields above authoritative; a spec is itself
+    #: authoritative and the loose fields are mirrored from it (``variant``
+    #: calls changing sizes on a spec-carrying config should replace the
+    #: spec, not the mirrors).
+    topology: object = "flat"
+
+    def __post_init__(self):
+        if isinstance(self.topology, TopologySpec):
+            spec = self.topology
+            self.num_sites = spec.num_sites
+            self.num_providers = spec.num_providers
+            self.providers_per_site = spec.providers_per_site
+            self.hosts_per_site = spec.hosts_per_site
+            self.wan_delay_range = spec.wan_delay_range
+            self.access_delay_range = spec.access_delay_range
+            self.access_rate_bps = spec.access_rate_bps
+            self.fig1 = spec.family == "fig1"
+        elif self.topology not in FAMILIES:
+            raise ValueError(f"unknown topology family {self.topology!r}")
+        elif self.topology == "fig1":
+            self.fig1 = True
+        elif self.fig1 and self.topology == "flat":
+            # Old-style callers set the fig1 flag with the default family;
+            # fold both spellings onto one canonical config/world key.
+            self.topology = "fig1"
+
+    @property
+    def topology_family(self):
+        return (self.topology.family if isinstance(self.topology, TopologySpec)
+                else self.topology)
+
+    def topology_spec(self, eids_globally_routable=False):
+        """The :class:`~repro.net.topogen.TopologySpec` this config builds.
+
+        Family-name configs map their loose sizing fields onto the spec
+        (the historical ``build_topology`` kwargs); spec-carrying configs
+        pass the spec through.  ``num_sites``/``num_providers`` are left to
+        the ``fig1`` family's fixed Fig. 1 cast, as before.
+        """
+        base = (self.topology if isinstance(self.topology, TopologySpec)
+                else TopologySpec(family=self.topology))
+        overrides = dict(
+            num_providers=self.num_providers,
+            providers_per_site=self.providers_per_site,
+            hosts_per_site=self.hosts_per_site,
+            wan_delay_range=self.wan_delay_range,
+            access_delay_range=self.access_delay_range,
+            access_rate_bps=self.access_rate_bps,
+            eids_globally_routable=eids_globally_routable)
+        if base.family != "fig1":
+            overrides["num_sites"] = self.num_sites
+        return replace(base, **overrides)
 
     def variant(self, **overrides):
         """A copy with fields overridden (for sweeps)."""
@@ -269,19 +323,9 @@ def build_scenario(config):
     if config.control_plane not in CONTROL_PLANES:
         raise ValueError(f"unknown control plane {config.control_plane!r}")
     sim = Simulator(seed=config.seed, tracing=config.tracing)
-    topo_kwargs = dict(
-        num_providers=config.num_providers,
-        providers_per_site=config.providers_per_site,
-        hosts_per_site=config.hosts_per_site,
-        wan_delay_range=config.wan_delay_range,
-        access_delay_range=config.access_delay_range,
-        access_rate_bps=config.access_rate_bps,
-        eids_globally_routable=(config.control_plane == "plain"),
-    )
-    if config.fig1:
-        topology = build_fig1_topology(sim, **topo_kwargs)
-    else:
-        topology = build_topology(sim, num_sites=config.num_sites, **topo_kwargs)
+    spec = config.topology_spec(
+        eids_globally_routable=(config.control_plane == "plain"))
+    topology = build_from_spec(sim, spec)
     dns = install_dns(topology, host_ttl=config.dns_host_ttl,
                       extra_levels=config.dns_extra_levels,
                       use_cache=config.dns_use_cache)

@@ -2,7 +2,8 @@
 
 The experiment modules (E1-E9) each run a handful of hand-picked worlds.
 This module is the scaling counterpart: a :class:`SweepGrid` declares axes
-(control plane x site count x seed x workload skew x flow-size distribution
+(control plane x topology family x site count x seed x workload skew x
+flow-size distribution
 x pacing mode x RLOC-failure fraction), :func:`expand_grid` turns it into concrete
 :class:`SweepCell` objects — one
 :class:`~repro.experiments.scenario.ScenarioConfig` /
@@ -77,9 +78,13 @@ from repro.experiments.worldbuild import (SnapshotStore, WorldBuilder,
                                           WorldCacheStats, build_world,
                                           serialize_world, world_key)
 from repro.metrics.stats import summarize
+from repro.net.topogen import FAMILIES
 from repro.traffic.popularity import PACING_MODES, SIZE_DISTRIBUTIONS
 
-#: Schema tag written into every JSON artifact.  v5: the ``fluid`` pacing
+#: Schema tag written into every JSON artifact.  v6: the ``topology``
+#: family axis (``fig1``/``flat``/``tiered``/``caida``, see
+#: :mod:`repro.net.topogen`) joins the grid, the group key, the per-cell
+#: rows and the CSV.  v5: the ``fluid`` pacing
 #: mode joins the axis and per-cell metrics carry ``fluid_bytes`` (bytes
 #: that crossed links as fluid chunks) and ``peak_concurrent_flows``.
 #: v4: the ``pacing`` axis joined the group key, and per-cell metrics
@@ -88,7 +93,7 @@ from repro.traffic.popularity import PACING_MODES, SIZE_DISTRIBUTIONS
 #: ``bytes_in_flight``, the ``bytes_conserved`` verdict, flow byte budgets
 #: and the peak access-link utilization).  v3 added ``sim_events``
 #: periodic ticks, fsum means, and the optional ``cells`` key.
-SCHEMA = "repro.sweep/v5"
+SCHEMA = "repro.sweep/v6"
 
 #: Default per-worker world-cache capacity.
 DEFAULT_MAX_WORLDS = 4
@@ -98,9 +103,12 @@ DEFAULT_MAX_WORLDS = 4
 class SweepGrid:
     """Declarative axes of a sweep plus shared scenario/workload knobs.
 
-    The cross product ``control_planes x site_counts x zipf_values x
-    size_dists x pacings x fail_fractions x seeds`` defines the cells, in
-    that nesting order.  ``scenario_overrides`` and ``workload_overrides``
+    The cross product ``control_planes x topologies x site_counts x
+    zipf_values x size_dists x pacings x fail_fractions x seeds`` defines
+    the cells, in that nesting order.  ``topologies`` names topology
+    families (see :mod:`repro.net.topogen`); non-flat families derive
+    their own provider population from the site count, so
+    ``num_providers`` only shapes ``flat``/``fig1`` cells.  ``scenario_overrides`` and ``workload_overrides``
     apply to every cell (any :class:`ScenarioConfig` /
     :class:`WorkloadConfig` field).
 
@@ -118,6 +126,7 @@ class SweepGrid:
 
     name: str = "sweep"
     control_planes: tuple = ("pce", "alt")
+    topologies: tuple = ("flat",)
     site_counts: tuple = (4,)
     seeds: tuple = (1,)
     zipf_values: tuple = (1.0,)
@@ -170,6 +179,9 @@ def expand_grid(grid):
     for control_plane in grid.control_planes:
         if control_plane not in CONTROL_PLANES:
             raise ValueError(f"unknown control plane {control_plane!r}")
+    for topology in grid.topologies:
+        if topology not in FAMILIES:
+            raise ValueError(f"unknown topology family {topology!r}")
     for size_dist in grid.size_dists:
         if size_dist not in SIZE_DISTRIBUTIONS:
             raise ValueError(f"unknown size distribution {size_dist!r}")
@@ -181,25 +193,27 @@ def expand_grid(grid):
             raise ValueError(f"fail fraction {fraction!r} outside [0, 1]")
     cells = []
     for control_plane in grid.control_planes:
-        for num_sites in grid.site_counts:
-            for zipf_s in grid.zipf_values:
-                for size_dist in grid.size_dists:
-                    for pacing in grid.pacings:
-                        for fraction in grid.fail_fractions:
-                            for seed in grid.seeds:
-                                cells.append(_make_cell(
-                                    grid, len(cells), control_plane,
-                                    num_sites, zipf_s, size_dist, pacing,
-                                    fraction, seed))
+        for topology in grid.topologies:
+            for num_sites in grid.site_counts:
+                for zipf_s in grid.zipf_values:
+                    for size_dist in grid.size_dists:
+                        for pacing in grid.pacings:
+                            for fraction in grid.fail_fractions:
+                                for seed in grid.seeds:
+                                    cells.append(_make_cell(
+                                        grid, len(cells), control_plane,
+                                        topology, num_sites, zipf_s,
+                                        size_dist, pacing, fraction, seed))
     return cells
 
 
-def _make_cell(grid, index, control_plane, num_sites, zipf_s, size_dist,
-               pacing, fraction, seed):
+def _make_cell(grid, index, control_plane, topology, num_sites, zipf_s,
+               size_dist, pacing, fraction, seed):
     # Overrides win over axis-derived values (so a grid can e.g. force
     # miss_policy or hosts_per_site per cell).
     scenario_kwargs = dict(
         control_plane=control_plane,
+        topology=topology,
         num_sites=num_sites,
         num_providers=grid.num_providers,
         hosts_per_site=grid.hosts_per_site,
@@ -223,6 +237,8 @@ def _make_cell(grid, index, control_plane, num_sites, zipf_s, size_dist,
         failure = FailureConfig(fraction=fraction, fail_at=grid.fail_at,
                                 repair_at=grid.repair_at)
     cell_id = f"{control_plane}-sites{num_sites}-zipf{zipf_s:g}"
+    if topology != "flat":
+        cell_id = f"{control_plane}-{topology}-sites{num_sites}-zipf{zipf_s:g}"
     if size_dist != "constant":
         cell_id += f"-size{size_dist}"
     if pacing != "constant":
@@ -364,6 +380,7 @@ def run_cell(cell, builder=None):
         "index": cell.index,
         "cell_id": cell.cell_id,
         "control_plane": cell.scenario.control_plane,
+        "topology": cell.scenario.topology_family,
         "num_sites": cell.scenario.num_sites,
         "seed": cell.scenario.seed,
         "zipf_s": cell.workload.zipf_s,
@@ -510,8 +527,8 @@ def _iter_completed(cells, workers, max_worlds, store=None, snapshot_dir=None):
 # --------------------------------------------------------------------- #
 
 #: Result fields that identify one aggregate group (everything but the seed).
-_GROUP_FIELDS = ("control_plane", "num_sites", "zipf_s", "size_dist",
-                 "pacing", "fail_fraction")
+_GROUP_FIELDS = ("control_plane", "topology", "num_sites", "zipf_s",
+                 "size_dist", "pacing", "fail_fraction")
 
 #: Integer counters summed straight off each cell's metrics dict.
 _SUM_FIELDS = ("flows", "packets_lost", "first_packet_drops",
@@ -803,8 +820,8 @@ def write_json(payload, path):
 
 
 #: Flat per-cell CSV columns (scalars only; nested summaries get p50/p95).
-CSV_COLUMNS = ("index", "cell_id", "control_plane", "num_sites", "seed",
-               "zipf_s", "size_dist", "pacing", "fail_fraction", "mode",
+CSV_COLUMNS = ("index", "cell_id", "control_plane", "topology", "num_sites",
+               "seed", "zipf_s", "size_dist", "pacing", "fail_fraction", "mode",
                "flows", "flows_failed", "packets_sent", "packets_delivered",
                "packets_lost", "first_packet_drops", "cache_hit_ratio",
                "cache_expirations", "resolutions_started",
@@ -824,8 +841,8 @@ def _csv_row(cell):
     setup = metrics["setup_latency"] or {}
     row = {
         **{key: cell[key] for key in
-           ("index", "cell_id", "control_plane", "num_sites", "seed",
-            "zipf_s", "size_dist", "pacing", "fail_fraction", "mode")},
+           ("index", "cell_id", "control_plane", "topology", "num_sites",
+            "seed", "zipf_s", "size_dist", "pacing", "fail_fraction", "mode")},
         **{key: metrics[key] for key in
            ("flows", "flows_failed", "packets_sent",
             "packets_delivered", "packets_lost", "first_packet_drops",
@@ -984,6 +1001,21 @@ PRESETS = {
                             "fluid_threshold": 1.0,
                             "fluid_chunk_interval": 1.0,
                             "grace_period": 15.0},
+    ),
+    # Topology shape as an axis: the same mapping systems and workload on
+    # the flat mesh vs tiered and CAIDA-skewed internets (hierarchical
+    # routing, IXPs, multihomed stubs).  Sites and flows stay modest —
+    # the point is cross-family comparison, not scale (the topology bench
+    # gate covers 1k-4k-site builds).
+    "tiered": SweepGrid(
+        name="tiered",
+        control_planes=("pce", "alt"),
+        topologies=("flat", "tiered", "caida"),
+        site_counts=(12,),
+        seeds=(51, 52),
+        zipf_values=(1.0,),
+        num_flows=30,
+        arrival_rate=15.0,
     ),
     # RLOC failure as a sweep axis: half the sites lose their primary
     # access link mid-workload; PCE runs with probing + backup locators so

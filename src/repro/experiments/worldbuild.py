@@ -132,8 +132,12 @@ SNAPSHOT_MAGIC = b"repro-world-snapshot\n"
 #: plane — :class:`~repro.net.link.LinkStats` checkpoints carry
 #: ``fluid_bytes``, :class:`~repro.traffic.flows.UdpSink` carries fluid
 #: byte counters, and worlds gained the per-world
-#: :class:`~repro.traffic.flows.FlowIdAllocator` component.
-SNAPSHOT_SCHEMA = 4
+#: :class:`~repro.traffic.flows.FlowIdAllocator` component.  v5:
+#: :class:`~repro.experiments.scenario.ScenarioConfig` grew the
+#: ``topology`` family field (world keys shifted) and tiered worlds carry
+#: a :class:`~repro.net.routing.TierLayout` plus hierarchical routing
+#: plans and IX routers in the pickled graph.
+SNAPSHOT_SCHEMA = 5
 
 
 def _without_gc(func, *args, **kwargs):

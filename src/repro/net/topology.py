@@ -38,9 +38,8 @@ from repro.net.fib import FibEntry
 from repro.net.host import Host
 from repro.net.link import connect
 from repro.net.router import Router
-from repro.net.routing import RoutingPlan, mesh_fingerprint
-
-DEFAULT_PREFIX = IPv4Prefix("0.0.0.0/0")
+from repro.net.routing import (DEFAULT_PREFIX, HierarchicalRoutingPlan,
+                               RoutingPlan, mesh_fingerprint)
 
 # Intra-site link delays (seconds). Small against WAN delays, as in a campus.
 HOST_HUB_DELAY = 0.0001
@@ -115,13 +114,24 @@ class Topology:
     infra_hosts: dict = field(default_factory=dict)
     attachments: list = field(default_factory=list)
     eids_globally_routable: bool = False
-    #: Memoized :class:`~repro.net.routing.RoutingPlan` (see :meth:`routing_plan`).
+    #: :class:`~repro.net.routing.TierLayout` for tiered internets (see
+    #: :mod:`repro.net.topogen`); None keeps the flat all-pairs mesh.
+    tier_layout: object = field(default=None, repr=False)
+    #: Internet-exchange routers (tiered families only).
+    ix_routers: list = field(default_factory=list)
+    #: Memoized routing plan — flat :class:`~repro.net.routing.RoutingPlan`
+    #: or :class:`~repro.net.routing.HierarchicalRoutingPlan`, depending on
+    #: ``tier_layout`` (see :meth:`routing_plan`).
     _plan: object = field(default=None, repr=False)
     #: How many ``attachments`` entries have already been installed.
     _routes_installed: int = field(default=0, repr=False)
+    #: Lazily built ``(num_sites, eid_index, rloc_index, irregular)`` site
+    #: lookup tables (see :meth:`_site_lookup`).
+    _site_index: object = field(default=None, repr=False)
 
     def all_nodes(self):
         nodes = list(self.providers)
+        nodes.extend(self.ix_routers)
         for site in self.sites:
             nodes.append(site.hub)
             nodes.append(site.dns_node)
@@ -131,32 +141,69 @@ class Topology:
         nodes.extend(self.infra_hosts.values())
         return nodes
 
+    def mesh_routers(self):
+        """The global routing mesh: providers plus IX routers."""
+        return list(self.providers) + list(self.ix_routers)
+
+    def _site_lookup(self):
+        """Site lookup tables, rebuilt whenever the site count changes.
+
+        ``site_of_eid`` / ``site_of_rloc`` are per-packet-ish queries (glean
+        checks, trace attribution, experiment bookkeeping); a linear scan
+        over 5k+ sites on each call would dominate large worlds.  EID
+        lookups key on the containing /24 (the address-plan shape of every
+        generated site); sites with other prefix lengths land in the
+        ``irregular`` scan list so hand-built topologies stay correct.
+        """
+        cached = self._site_index
+        if cached is None or cached[0] != len(self.sites):
+            by_eid = {}
+            by_rloc = {}
+            irregular = []
+            for site in self.sites:
+                by_eid[site.eid_prefix] = site
+                if site.eid_prefix.length != 24:
+                    irregular.append(site)
+                for xtr in site.xtrs:
+                    by_rloc[IPv4Address(xtr.services["rloc"])] = site
+            cached = (len(self.sites), by_eid, by_rloc, tuple(irregular))
+            self._site_index = cached
+        return cached
+
     def site_of_eid(self, eid):
         """The site whose EID prefix contains *eid* (None if none)."""
         eid = IPv4Address(eid)
-        for site in self.sites:
+        _count, by_eid, _by_rloc, irregular = self._site_lookup()
+        site = by_eid.get(IPv4Prefix.containing(eid, 24))
+        if site is not None and site.eid_prefix.contains(eid):
+            return site
+        for site in irregular:
             if site.eid_prefix.contains(eid):
                 return site
         return None
 
     def site_of_rloc(self, rloc):
-        rloc = IPv4Address(rloc)
-        for site in self.sites:
-            if site.xtr_for_rloc(rloc) is not None:
-                return site
-        return None
+        _count, _by_eid, by_rloc, _irregular = self._site_lookup()
+        return by_rloc.get(IPv4Address(rloc))
 
     def routing_plan(self):
-        """The provider-mesh :class:`~repro.net.routing.RoutingPlan`.
+        """The global routing plan, memoized against the mesh fingerprint.
 
-        Computed on first use and memoized against the mesh fingerprint:
-        as long as the provider routers and their mesh links are unchanged
-        (site/infrastructure attachments don't count), the same shortest-path
-        tables serve every install and delay query for this topology.
+        As long as the mesh routers (providers plus IXs) and their mesh
+        links are unchanged — site/infrastructure attachments don't count —
+        the same tables serve every install and delay query for this
+        topology.  Topologies carrying a ``tier_layout`` get a
+        :class:`~repro.net.routing.HierarchicalRoutingPlan` (core-only
+        tables, aggregation at tier boundaries); flat ones keep the
+        all-pairs :class:`~repro.net.routing.RoutingPlan`.
         """
-        fingerprint = mesh_fingerprint(self.providers)
+        fingerprint = mesh_fingerprint(self.mesh_routers())
         if self._plan is None or self._plan.fingerprint != fingerprint:
-            self._plan = RoutingPlan(self.providers, fingerprint=fingerprint)
+            if self.tier_layout is not None:
+                self._plan = HierarchicalRoutingPlan(
+                    self.providers, self.tier_layout, fingerprint=fingerprint)
+            else:
+                self._plan = RoutingPlan(self.providers, fingerprint=fingerprint)
             self._routes_installed = 0  # new tables: (re)install everything
         return self._plan
 
@@ -228,175 +275,33 @@ def build_topology(sim, num_sites=2, num_providers=4, providers_per_site=2,
                    access_delay_range=(0.001, 0.005), access_rate_bps=None,
                    eids_globally_routable=False,
                    provider_assignment=None, rng_stream="topology"):
-    """Build providers, sites, links and intra-site routing.
+    """Build the flat (full provider mesh) topology family.
 
-    ``provider_assignment``, when given, is a list of provider-id lists, one
-    per site, overriding the default rotation.  ``access_rate_bps`` gives
-    the site access links a finite transmission rate (None keeps them
-    infinite), which makes link busy time — and utilization — observable
-    for traffic-shaping experiments.  Global (provider-mesh) routes are
-    installed at the end; callers that attach additional infrastructure
-    hosts afterwards must re-run :meth:`Topology.install_global_routes`.
+    Thin compat wrapper: the kwargs map 1:1 onto a flat-family
+    :class:`~repro.net.topogen.TopologySpec`, and construction happens in
+    :func:`repro.net.topogen.build` — the single entry point every family
+    shares.  New callers should build a spec directly.
     """
-    if providers_per_site > num_providers:
-        raise ValueError("providers_per_site exceeds num_providers")
-    rng = sim.rng.stream(rng_stream)
-
-    # --- Provider mesh -------------------------------------------------- #
-    providers = []
-    provider_prefixes = []
-    for p in range(num_providers):
-        router = Router(sim, f"prov{p}")
-        router.add_address(provider_prefix_for(p).address_at(1))
-        providers.append(router)
-        provider_prefixes.append(provider_prefix_for(p))
-    for a in range(num_providers):
-        for b in range(a + 1, num_providers):
-            delay = rng.uniform(*wan_delay_range)
-            iface_a = providers[a].add_interface(f"to-prov{b}")
-            iface_b = providers[b].add_interface(f"to-prov{a}")
-            connect(sim, iface_a, iface_b, delay=delay)
-
-    topology = Topology(sim=sim, providers=providers, provider_prefixes=provider_prefixes,
-                        sites=[], eids_globally_routable=eids_globally_routable)
-
-    # Each provider owns its /8 block.
-    for p, router in enumerate(providers):
-        topology.attachments.append((provider_prefixes[p], router, None))
-
-    # --- Sites ---------------------------------------------------------- #
-    for s in range(num_sites):
-        assigned = provider_assignment[s] if provider_assignment is not None else None
-        site = _build_site(sim, topology, s, providers_per_site, hosts_per_site,
-                           access_delay_range, rng, assigned_providers=assigned,
-                           access_rate_bps=access_rate_bps)
-        topology.sites.append(site)
-
-    topology.install_global_routes()
-    return topology
-
-
-def _build_site(sim, topology, s, providers_per_site, hosts_per_site,
-                access_delay_range, rng, assigned_providers=None,
-                access_rate_bps=None):
-    name = f"site{s}"
-    eid_prefix = eid_prefix_for(s)
-    infra_prefix = infra_prefix_for(s)
-    num_providers = len(topology.providers)
-
-    hub = Router(sim, f"{name}-hub")
-    hub.add_address(eid_prefix.address_at(1))
-    dns_node = Host(sim, f"{name}-dns", address=infra_prefix.address_at(10))
-    pce_node = Router(sim, f"{name}-pce")
-    pce_node.add_address(infra_prefix.address_at(20))
-
-    site = Site(index=s, name=name, eid_prefix=eid_prefix, infra_prefix=infra_prefix,
-                hub=hub, dns_node=dns_node, pce_node=pce_node)
-
-    if assigned_providers is not None:
-        chosen = list(assigned_providers)
-    else:
-        # Deterministic but varied provider assignment: rotate through the
-        # mesh.  When gcd(stride, num_providers) > 1 the rotation only visits
-        # a subgroup, so complete the candidate order with the remaining
-        # providers instead of cycling forever.
-        first = s % num_providers
-        stride = 1 + (s // num_providers) % max(1, num_providers - 1)
-        order = []
-        p = first
-        for _ in range(num_providers):
-            if p not in order:
-                order.append(p)
-            p = (p + stride) % num_providers
-        for p in range(num_providers):
-            if p not in order:
-                order.append(p)
-        chosen = order[:providers_per_site]
-    site.provider_ids = chosen
-
-    # Hosts on the hub.
-    for i in range(hosts_per_site):
-        host = Host(sim, f"{name}-host{i}", address=eid_prefix.address_at(10 + i))
-        host_iface = host.add_interface("up")
-        hub_iface = hub.add_interface(f"to-host{i}")
-        connect(sim, hub_iface, host_iface, delay=HOST_HUB_DELAY)
-        host.fib.insert(FibEntry(DEFAULT_PREFIX, host_iface))
-        hub.fib.insert(FibEntry(IPv4Prefix(int(host.address), 32), hub_iface))
-        site.hosts.append(host)
-
-    # DNS behind PCE: dns -- pce -- hub.
-    dns_iface = dns_node.add_interface("up")
-    pce_dns_iface = pce_node.add_interface("to-dns")
-    connect(sim, pce_dns_iface, dns_iface, delay=DNS_PCE_DELAY)
-    dns_node.fib.insert(FibEntry(DEFAULT_PREFIX, dns_iface))
-
-    pce_hub_iface = pce_node.add_interface("to-hub")
-    hub_pce_iface = hub.add_interface("to-pce")
-    connect(sim, hub_pce_iface, pce_hub_iface, delay=PCE_HUB_DELAY)
-    pce_node.fib.insert(FibEntry(IPv4Prefix(int(site.dns_address), 32), pce_dns_iface))
-    pce_node.fib.insert(FibEntry(DEFAULT_PREFIX, pce_hub_iface))
-    hub.fib.insert(FibEntry(IPv4Prefix(int(site.dns_address), 32), hub_pce_iface))
-    hub.fib.insert(FibEntry(IPv4Prefix(int(site.pce_address), 32), hub_pce_iface))
-
-    # xTRs: one per provider.
-    for b, p in enumerate(site.provider_ids):
-        xtr = Router(sim, f"{name}-xtr{b}")
-        rloc = rloc_for(p, s, b)
-        xtr.add_address(rloc)
-        xtr.add_address(site.xtr_control_address(b))
-        xtr.register_service("rloc", rloc)
-        xtr.register_service("site", site)
-        xtr.register_service("provider_id", p)
-
-        xtr_hub_iface = xtr.add_interface("to-hub")
-        hub_xtr_iface = hub.add_interface(f"to-xtr{b}")
-        connect(sim, hub_xtr_iface, xtr_hub_iface, delay=XTR_HUB_DELAY)
-
-        provider = topology.providers[p]
-        access_delay = rng.uniform(*access_delay_range)
-        xtr_up_iface = xtr.add_interface("up", address=rloc)
-        provider_iface = provider.add_interface(f"to-{name}-xtr{b}")
-        downlink, uplink = connect(sim, provider_iface, xtr_up_iface, delay=access_delay,
-                                   rate_bps=access_rate_bps)
-        site.access_links.append({"uplink": uplink, "downlink": downlink})
-        site.hub_links.append({"hub_iface": hub_xtr_iface})
-
-        # xTR routing: site prefixes inward, everything else to the provider.
-        xtr.fib.insert(FibEntry(site.eid_prefix, xtr_hub_iface))
-        xtr.fib.insert(FibEntry(site.infra_prefix, xtr_hub_iface))
-        xtr.fib.insert(FibEntry(DEFAULT_PREFIX, xtr_up_iface))
-
-        # Hub can reach each xTR's control address.
-        hub.fib.insert(FibEntry(IPv4Prefix(int(site.xtr_control_address(b)), 32),
-                                hub_xtr_iface))
-        # Provider can deliver to the xTR's RLOC.
-        topology.attachments.append((IPv4Prefix(int(rloc), 32), provider, provider_iface))
-
-        site.xtrs.append(xtr)
-        site.access_delays.append(access_delay)
-
-        if b == 0:
-            # Home attachment: the site's infrastructure prefix (and its EID
-            # prefix, in plain-IP mode) is reachable via xtr0.
-            topology.attachments.append((site.infra_prefix, provider, provider_iface))
-            if topology.eids_globally_routable:
-                topology.attachments.append((site.eid_prefix, provider, provider_iface))
-
-    # Hub default: out via xtr0 (TE may override per destination later).
-    hub.fib.insert(FibEntry(DEFAULT_PREFIX, hub.interfaces["to-xtr0"]))
-    return site
+    from repro.net.topogen import TopologySpec, build
+    spec = TopologySpec(
+        family="flat", num_sites=num_sites, num_providers=num_providers,
+        providers_per_site=providers_per_site, hosts_per_site=hosts_per_site,
+        wan_delay_range=wan_delay_range, access_delay_range=access_delay_range,
+        access_rate_bps=access_rate_bps,
+        eids_globally_routable=eids_globally_routable,
+        provider_assignment=provider_assignment, rng_stream=rng_stream)
+    return build(sim, spec)
 
 
 def build_fig1_topology(sim, **overrides):
     """The exact Fig. 1 scenario: two sites, two providers each.
 
     Site 0 ("AS_S") homes to providers A(10/8) and B(11/8); site 1 ("AS_D")
-    homes to providers X(12/8) and Y(13/8).
+    homes to providers X(12/8) and Y(13/8).  Compat wrapper over the
+    ``"fig1"`` :class:`~repro.net.topogen.TopologySpec` family.
     """
+    from repro.net.topogen import TopologySpec, build
     params = dict(num_sites=2, num_providers=4, providers_per_site=2,
-                  hosts_per_site=2, provider_assignment=[[0, 1], [2, 3]])
+                  hosts_per_site=2, provider_assignment=((0, 1), (2, 3)))
     params.update(overrides)
-    topology = build_topology(sim, **params)
-    topology.site_s = topology.sites[0]
-    topology.site_d = topology.sites[1]
-    return topology
+    return build(sim, TopologySpec(family="fig1", **params))

@@ -121,6 +121,8 @@ _PRESET_SHRINK = {
                      workload_overrides={"fluid_threshold": 3.0}),
     "shaped": dict(site_counts=(4,), seeds=(31,), num_flows=16),
     "megaflow": dict(num_flows=600, arrival_rate=300.0),
+    "tiered": dict(site_counts=(4,), seeds=(51,), num_flows=16,
+                   topologies=("flat", "tiered")),
 }
 
 

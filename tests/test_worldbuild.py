@@ -10,9 +10,10 @@ from repro.experiments.sweep import (SweepGrid, expand_grid, payload_digest,
 from repro.experiments.workload import WorkloadConfig, run_workload
 from repro.experiments.worldbuild import (WorldBuilder, build_world,
                                           restore_world, world_key)
-from repro.net.routing import (build_adjacency, install_mesh_routes,
+from repro.net.routing import (HierarchicalRoutingPlan, TierLayout,
+                               build_adjacency, install_mesh_routes,
                                mesh_fingerprint, path_delay)
-from repro.net.topology import build_topology
+from repro.net.topology import build_topology, provider_prefix_for
 from repro.sim import Simulator
 
 
@@ -417,3 +418,84 @@ def test_failure_cells_reuse_cleanly():
     assert builder.stats.hits == 1
     assert json.dumps(after_failure, sort_keys=True) \
         == json.dumps(baseline, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# Hierarchical routing: equivalence, reuse, sweep determinism
+# --------------------------------------------------------------------- #
+
+def test_single_tier_hierarchical_plan_equals_flat_plan():
+    """One tier, no uplinks, no IXPs: the hierarchical plan degenerates to
+    the flat all-pairs plan — identical FIBs (iface, next hop, metric)
+    and identical delay() answers."""
+    sim = Simulator(seed=17, tracing=False)
+    topology = build_topology(sim, num_sites=5, num_providers=6)
+    topology.attach_infra_host(1, "root-dns", "203.0.113.5")
+    topology.install_global_routes()  # flat RoutingPlan did this install
+    flat_plan = topology.routing_plan()
+    flat_fibs = [_fib_snapshot(p) for p in topology.providers]
+
+    layout = TierLayout(
+        tiers=(tuple(range(len(topology.providers))),),
+        uplinks={}, ixps=(),
+        aggregates={p: provider_prefix_for(p)
+                    for p in range(len(topology.providers))})
+    hier_plan = HierarchicalRoutingPlan(topology.providers, layout)
+    for provider in topology.providers:
+        provider.fib.clear()
+    hier_plan.install(topology.attachments)
+
+    assert [_fib_snapshot(p) for p in topology.providers] == flat_fibs
+    for a in topology.providers:
+        for b in topology.providers:
+            assert hier_plan.delay(a, b) == flat_plan.delay(a, b)
+    assert hier_plan.fingerprint == flat_plan.fingerprint
+
+
+def _tiered_cell(control_plane="pce"):
+    grid = SweepGrid(control_planes=(control_plane,), topologies=("tiered",),
+                     site_counts=(6,), seeds=(21,), num_flows=10,
+                     arrival_rate=10.0)
+    return expand_grid(grid)[0]
+
+
+def test_tiered_cell_fresh_vs_restored_byte_identical():
+    """A tiered world survives snapshot/restore with nothing lost: the
+    layout, hierarchical plan, and IX routers all pickle, and a cell run
+    on the restored world matches the fresh run byte-for-byte."""
+    cell = _tiered_cell()
+    fresh = run_cell(cell)
+    builder = WorldBuilder()
+    first = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "miss"
+    reused = run_cell(cell, builder=builder)
+    assert builder.last_outcome == "hit"
+    assert json.dumps(fresh, sort_keys=True) == json.dumps(first, sort_keys=True)
+    assert json.dumps(fresh, sort_keys=True) == json.dumps(reused, sort_keys=True)
+
+
+def test_restored_tiered_world_keeps_hierarchical_routing():
+    config = ScenarioConfig(control_plane="alt", topology="tiered",
+                            num_sites=5, seed=13, tracing=False)
+    scenario = build_world(config)
+    run_workload(scenario, WorkloadConfig(num_flows=6, arrival_rate=10.0))
+    restore_world(scenario)
+    restored = scenario.topology
+    assert isinstance(restored.routing_plan(), HierarchicalRoutingPlan)
+    assert restored.tier_layout is not None
+    assert restored.ix_routers
+
+
+def test_topology_axis_sweep_digest_matches_across_workers():
+    """The schema-v6 topology axis stays deterministic under fan-out."""
+    grid = SweepGrid(control_planes=("pce",), topologies=("flat", "tiered"),
+                     site_counts=(4,), seeds=(7,), num_flows=8,
+                     arrival_rate=10.0)
+    fanned = run_sweep(grid, workers=2)
+    serial = run_sweep(grid, workers=1)
+    assert payload_digest(serial) == payload_digest(fanned)
+    cell_ids = [cell["cell_id"] for cell in serial["cells"]]
+    assert cell_ids == ["pce-sites4-zipf1-seed7",
+                        "pce-tiered-sites4-zipf1-seed7"]
+    by_topology = {cell["topology"]: cell for cell in serial["cells"]}
+    assert set(by_topology) == {"flat", "tiered"}
